@@ -1,0 +1,360 @@
+// Command ptdft runs real (laptop-scale) rt-TDDFT simulations with the
+// library: ground-state SCF followed by time propagation with PT-CN or
+// RK4, optionally with the hybrid (screened exchange) functional, a laser
+// pulse or delta kick, and optional distribution over goroutine-MPI ranks.
+//
+//	ptdft -cells 1,1,1 -ecut 4 -method ptcn -dt 24 -steps 10 -kick 0.02
+//	ptdft -cells 1,1,2 -hybrid -method ptcn -dt 50 -steps 4 -pulse 0.005
+//	ptdft -ranks 4 -method ptcn -steps 5
+//
+// Output: one line per step (time, energy, current, excited carriers, SCF
+// count) plus a trace breakdown, and optionally a CSV file for plotting.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptdft/internal/checkpoint"
+	"ptdft/internal/core"
+	"ptdft/internal/dist"
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/laser"
+	"ptdft/internal/lattice"
+	"ptdft/internal/mpi"
+	"ptdft/internal/observe"
+	"ptdft/internal/pseudo"
+	"ptdft/internal/scf"
+	"ptdft/internal/trace"
+	"ptdft/internal/units"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+type config struct {
+	cells    [3]int
+	ecut     float64
+	hybrid   bool
+	useACE   bool
+	method   string
+	dtAs     float64
+	steps    int
+	kick     float64
+	pulseE0  float64
+	ranks    int
+	seed     int64
+	csvPath  string
+	quiet    bool
+	strategy string
+	single   bool
+	savePath string
+	loadPath string
+}
+
+func parseFlags() (*config, error) {
+	var c config
+	cellsStr := flag.String("cells", "1,1,1", "supercell repetitions nx,ny,nz (8 Si atoms per cell)")
+	flag.Float64Var(&c.ecut, "ecut", 4, "kinetic energy cutoff (Ha); the paper uses 10")
+	flag.BoolVar(&c.hybrid, "hybrid", false, "use the HSE-like hybrid functional (screened Fock exchange)")
+	flag.BoolVar(&c.useACE, "ace", false, "apply exchange through the ACE compression (serial runs only)")
+	flag.StringVar(&c.method, "method", "ptcn", "time integrator: ptcn or rk4")
+	flag.Float64Var(&c.dtAs, "dt", 24, "time step in attoseconds (paper: 50 for PT-CN, 0.5 for RK4)")
+	flag.IntVar(&c.steps, "steps", 5, "number of propagation steps")
+	flag.Float64Var(&c.kick, "kick", 0.02, "delta-kick vector potential (au); 0 disables")
+	flag.Float64Var(&c.pulseE0, "pulse", 0, "380nm Gaussian pulse peak field (Ha/bohr); overrides -kick")
+	flag.IntVar(&c.ranks, "ranks", 0, "distribute over N goroutine-MPI ranks (0 = serial)")
+	flag.Int64Var(&c.seed, "seed", 1234, "ground-state starting guess seed")
+	flag.StringVar(&c.csvPath, "csv", "", "write per-step observables to this CSV file")
+	flag.BoolVar(&c.quiet, "q", false, "suppress per-step output")
+	flag.StringVar(&c.strategy, "exchange", "overlap", "distributed exchange strategy: bcast, overlap, roundrobin")
+	flag.BoolVar(&c.single, "singleprec", false, "single-precision MPI payloads (distributed runs)")
+	flag.StringVar(&c.savePath, "save", "", "write a restart checkpoint here after the last step")
+	flag.StringVar(&c.loadPath, "load", "", "resume from a checkpoint instead of the ground state")
+	flag.Parse()
+	parts := strings.Split(*cellsStr, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-cells wants nx,ny,nz, got %q", *cellsStr)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad cell count %q", p)
+		}
+		c.cells[i] = v
+	}
+	if c.method != "ptcn" && c.method != "rk4" {
+		return nil, fmt.Errorf("unknown method %q", c.method)
+	}
+	return &c, nil
+}
+
+func main() {
+	cfg, err := parseFlags()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type stepRecord struct {
+	timeFs   float64
+	energy   float64
+	currentZ float64
+	excited  float64
+	scfIters int
+	wallSec  float64
+}
+
+func run(cfg *config) error {
+	cell, err := lattice.SiliconSupercell(cfg.cells[0], cfg.cells[1], cfg.cells[2])
+	if err != nil {
+		return err
+	}
+	g, err := grid.New(cell, cfg.ecut)
+	if err != nil {
+		return err
+	}
+	nb := cell.NumBands()
+	fmt.Printf("system: Si%d  (%dx%dx%d cells), Ecut %.1f Ha\n", cell.NumAtoms(), cfg.cells[0], cfg.cells[1], cfg.cells[2], cfg.ecut)
+	fmt.Printf("grid: wavefunction %v (NG=%d sphere), density %v; bands %d\n", g.N, g.NG, g.ND, nb)
+
+	prof := trace.New()
+	pots := sipots()
+	hcfg := hamiltonian.Config{Hybrid: cfg.hybrid, UseACE: cfg.useACE, Params: xc.HSE06()}
+	h := hamiltonian.New(g, pots, hcfg)
+
+	// Ground state.
+	opt := scf.Defaults()
+	opt.Seed = cfg.seed
+	var gs *scf.Result
+	prof.Time("ground state SCF", func() {
+		gs, err = scf.GroundState(g, h, nb, opt)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ground state: E = %.8f Ha (%d SCF iterations, density err %.2e)\n",
+		gs.Energy.Total(), gs.SCFIterations, gs.DensityError)
+
+	var field laser.Field
+	switch {
+	case cfg.pulseE0 != 0:
+		sigma := units.AttosecondsToAU(cfg.dtAs) * float64(cfg.steps) / 4
+		field = laser.New380nm(cfg.pulseE0, 2*sigma, sigma)
+		fmt.Printf("field: 380nm pulse, E0=%.4g Ha/bohr\n", cfg.pulseE0)
+	case cfg.kick != 0:
+		field = &laser.Kick{K: cfg.kick, Pol: [3]float64{0, 0, 1}}
+		fmt.Printf("field: delta kick A=%.4g au along z\n", cfg.kick)
+	}
+
+	// Resume from a checkpoint when requested; otherwise start from the
+	// freshly converged ground state.
+	psiStart := gs.Psi
+	t0 := 0.0
+	if cfg.loadPath != "" {
+		st, err := checkpoint.LoadFile(cfg.loadPath)
+		if err != nil {
+			return err
+		}
+		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut); err != nil {
+			return err
+		}
+		psiStart = st.Psi
+		t0 = st.Time
+		fmt.Printf("resumed from %s at t = %.2f as (step %d)\n", cfg.loadPath, units.AUToAttoseconds(st.Time), st.Step)
+	}
+
+	dt := units.AttosecondsToAU(cfg.dtAs)
+	var records []stepRecord
+	var psiFinal []complex128
+	var tFinal float64
+	if cfg.ranks > 1 {
+		records, psiFinal, tFinal, err = runDistributed(cfg, g, psiStart, nb, field, dt, t0, prof)
+	} else {
+		records, psiFinal, tFinal, err = runSerial(cfg, g, h, gs.Psi, psiStart, nb, field, dt, t0, prof)
+	}
+	if err != nil {
+		return err
+	}
+
+	if !cfg.quiet {
+		fmt.Printf("\n%10s %16s %14s %10s %6s %10s\n", "t (fs)", "E (Ha)", "J_z (au)", "n_exc", "SCF", "wall (s)")
+		for _, r := range records {
+			fmt.Printf("%10.5f %16.8f %14.4e %10.5f %6d %10.3f\n", r.timeFs, r.energy, r.currentZ, r.excited, r.scfIters, r.wallSec)
+		}
+	}
+
+	if cfg.savePath != "" {
+		st := &checkpoint.State{
+			Time: tFinal, Step: int64(cfg.steps), NBands: nb, NG: g.NG,
+			Natom: int64(cell.NumAtoms()), Ecut: cfg.ecut, Hybrid: cfg.hybrid, Psi: psiFinal,
+		}
+		if err := checkpoint.SaveFile(cfg.savePath, st); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", cfg.savePath)
+	}
+	fmt.Println()
+	prof.Report(os.Stdout)
+	if cfg.csvPath != "" {
+		if err := writeCSV(cfg.csvPath, records); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.csvPath)
+	}
+	return nil
+}
+
+func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, prof *trace.Profile) ([]stepRecord, []complex128, float64, error) {
+	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: field}
+	psi := wavefunc.Clone(psi0)
+	var records []stepRecord
+	var stepFn func([]complex128, float64) ([]complex128, core.StepStats, error)
+	var now func() float64
+	switch cfg.method {
+	case "ptcn":
+		p := core.NewPTCN(sys, core.DefaultPTCN())
+		p.Time = t0
+		stepFn, now = p.Step, func() float64 { return p.Time }
+	case "rk4":
+		r := core.NewRK4(sys)
+		r.Time = t0
+		stepFn, now = r.Step, func() float64 { return r.Time }
+	}
+	for i := 0; i < cfg.steps; i++ {
+		start := time.Now()
+		var stats core.StepStats
+		var err error
+		psi, stats, err = stepFn(psi, dt)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("step %d: %w", i, err)
+		}
+		wall := time.Since(start).Seconds()
+		prof.Add("propagation step", wall)
+		eb := observe.Energy(sys, psi, now())
+		j := observe.Current(sys, psi)
+		records = append(records, stepRecord{
+			timeFs:   now() * units.FemtosecondPerAU,
+			energy:   eb.Total(),
+			currentZ: j[2],
+			excited:  observe.ExcitedElectrons(sys, psiGS, psi),
+			scfIters: stats.SCFIterations,
+			wallSec:  wall,
+		})
+	}
+	return records, psi, now(), nil
+}
+
+func runDistributed(cfg *config, g *grid.Grid, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, prof *trace.Profile) ([]stepRecord, []complex128, float64, error) {
+	if cfg.method != "ptcn" {
+		return nil, nil, 0, fmt.Errorf("distributed runs support -method ptcn only")
+	}
+	if nb%cfg.ranks != 0 {
+		return nil, nil, 0, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
+	}
+	strat := map[string]dist.ExchangeStrategy{
+		"bcast": dist.BcastSequential, "overlap": dist.BcastOverlapped, "roundrobin": dist.RoundRobin,
+	}[cfg.strategy]
+	exOpt := dist.ExchangeOptions{Strategy: strat, SinglePrecision: cfg.single}
+	fmt.Printf("distributed: %d ranks, exchange strategy %v, single precision %v\n", cfg.ranks, strat, cfg.single)
+
+	records := make([]stepRecord, cfg.steps)
+	psiFinal := make([]complex128, nb*g.NG)
+	var tFinal float64
+	var firstErr error
+	stats := mpi.Run(cfg.ranks, func(c *mpi.Comm) {
+		d, err := dist.NewCtx(c, g, nb, 2)
+		if err != nil {
+			if c.Rank() == 0 {
+				firstErr = err
+			}
+			return
+		}
+		h := hamiltonian.New(g, sipots(), hamiltonian.Config{})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), cfg.hybrid, field, core.DefaultPTCN(), exOpt)
+		s.Time = t0
+		lo, hi := d.BandRange(c.Rank())
+		local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
+		for i := 0; i < cfg.steps; i++ {
+			start := time.Now()
+			var st core.StepStats
+			local, st, err = s.Step(local, dt)
+			if err != nil {
+				// Convergence failures are symmetric across ranks (the
+				// density criterion is global), so every rank exits here
+				// together and no collective is left half-entered.
+				if c.Rank() == 0 {
+					firstErr = fmt.Errorf("step %d: %w", i, err)
+				}
+				return
+			}
+			eb := s.TotalEnergy(local, s.Time)
+			j := s.Current(local)
+			if c.Rank() == 0 {
+				records[i] = stepRecord{
+					timeFs:   s.Time * units.FemtosecondPerAU,
+					energy:   eb.Total(),
+					currentZ: j[2],
+					scfIters: st.SCFIterations,
+					wallSec:  time.Since(start).Seconds(),
+				}
+				prof.Add("propagation step", records[i].wallSec)
+			}
+		}
+		full := d.Gather(local)
+		if c.Rank() == 0 {
+			copy(psiFinal, full)
+			tFinal = s.Time
+		}
+	})
+	if firstErr != nil {
+		return nil, nil, 0, firstErr
+	}
+	fmt.Printf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB\n",
+		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
+		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
+	return records, psiFinal, tFinal, nil
+}
+
+func mb(b int64) float64 { return float64(b) / 1e6 }
+
+func sipots() map[int]*pseudo.Potential {
+	return map[int]*pseudo.Potential{0: pseudo.SiliconAH()}
+}
+
+func writeCSV(path string, records []stepRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"time_fs", "energy_ha", "current_z", "excited_electrons", "scf_iterations", "wall_seconds"}); err != nil {
+		return err
+	}
+	for _, r := range records {
+		rec := []string{
+			strconv.FormatFloat(r.timeFs, 'g', 12, 64),
+			strconv.FormatFloat(r.energy, 'g', 14, 64),
+			strconv.FormatFloat(r.currentZ, 'g', 8, 64),
+			strconv.FormatFloat(r.excited, 'g', 8, 64),
+			strconv.Itoa(r.scfIters),
+			strconv.FormatFloat(r.wallSec, 'g', 6, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

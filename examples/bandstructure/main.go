@@ -1,0 +1,94 @@
+// Bandstructure: the k-point machinery the paper mentions in section 3.1
+// ("for solid state systems with k-point sampling, the wavefunctions can
+// naturally be grouped according to the k-points"). Converges the silicon
+// density at the Gamma point, then diagonalizes H_k non-self-consistently
+// along the L - Gamma - X path of the cubic cell, printing the band
+// energies and the gap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/lattice"
+	"ptdft/internal/pseudo"
+	"ptdft/internal/scf"
+	"ptdft/internal/units"
+)
+
+func main() {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	g := grid.MustNew(cell, 5)
+	pots := map[int]*pseudo.Potential{0: pseudo.SiliconAH()}
+	h := hamiltonian.New(g, pots, hamiltonian.Config{})
+
+	nocc := cell.NumBands() // 16 doubly occupied
+	gs, err := scf.GroundState(g, h, nocc, scf.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Gamma-point ground state: %.6f Ha\n", gs.Energy.Total())
+
+	// k-path in units of 2*pi/a for the conventional cubic cell:
+	// L = (1/2,1/2,1/2), Gamma, X = (0,0,1).
+	b := 2 * math.Pi / cell.L[0]
+	type kpt struct {
+		label string
+		frac  [3]float64
+	}
+	path := []kpt{}
+	const nseg = 4
+	for i := nseg; i >= 1; i-- {
+		f := float64(i) / nseg / 2
+		label := ""
+		if i == nseg {
+			label = "L"
+		}
+		path = append(path, kpt{label, [3]float64{f, f, f}})
+	}
+	path = append(path, kpt{"G", [3]float64{0, 0, 0}})
+	for i := 1; i <= nseg; i++ {
+		f := float64(i) / nseg
+		label := ""
+		if i == nseg {
+			label = "X"
+		}
+		path = append(path, kpt{label, [3]float64{0, 0, f}})
+	}
+
+	nbands := nocc + 4 // a few empty bands for the gap
+	fmt.Printf("\n%-4s %-20s  bands %d..%d (eV, relative to VBM)\n", "k", "fractional", nocc-1, nocc+2)
+	var vbm, cbm = math.Inf(-1), math.Inf(1)
+	results := make([][]float64, len(path))
+	for i, kp := range path {
+		k := [3]float64{kp.frac[0] * b, kp.frac[1] * b, kp.frac[2] * b}
+		nl := pseudo.BuildNonlocalBloch(g, pots, k)
+		h.SetBloch(k, nl)
+		evals, _, err := scf.DiagonalizeFixed(g, h, nbands, 25, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[i] = evals
+		if evals[nocc-1] > vbm {
+			vbm = evals[nocc-1]
+		}
+		if evals[nocc] < cbm {
+			cbm = evals[nocc]
+		}
+	}
+	h.SetBloch([3]float64{}, nil)
+
+	for i, kp := range path {
+		e := results[i]
+		fmt.Printf("%-4s (%.2f,%.2f,%.2f)  ", kp.label, kp.frac[0], kp.frac[1], kp.frac[2])
+		for bnd := nocc - 2; bnd < nocc+2 && bnd < len(e); bnd++ {
+			fmt.Printf("%9.3f", (e[bnd]-vbm)*units.EVPerHartree)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nindirect gap estimate: %.3f eV (model pseudopotential; experimental Si: 1.17 eV)\n",
+		(cbm-vbm)*units.EVPerHartree)
+}

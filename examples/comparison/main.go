@@ -1,0 +1,89 @@
+// Comparison: a laptop-scale version of Fig. 6 - the cost of advancing the
+// same physical time with PT-CN (large steps, a few SCF iterations each)
+// versus explicit RK4 (tiny steps for stability). Both propagate the same
+// kicked Si8 system for the same physical duration; the program reports H
+// applications, wall time, and verifies the observables agree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"ptdft/internal/core"
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/laser"
+	"ptdft/internal/lattice"
+	"ptdft/internal/potential"
+	"ptdft/internal/pseudo"
+	"ptdft/internal/scf"
+	"ptdft/internal/units"
+	"ptdft/internal/wavefunc"
+)
+
+func main() {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	g := grid.MustNew(cell, 3.5)
+	nb := cell.NumBands()
+	h := hamiltonian.New(g, map[int]*pseudo.Potential{0: pseudo.SiliconAH()},
+		hamiltonian.Config{})
+	gs, err := scf.GroundState(g, h, nb, scf.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: kick}
+
+	const tEndAU = 4.0 // ~97 as of physical time
+	fmt.Printf("propagating Si%d for %.0f as after a kick\n\n",
+		cell.NumAtoms(), units.AUToAttoseconds(tEndAU))
+
+	// PT-CN with ~48 as steps.
+	pt := core.NewPTCN(sys, core.DefaultPTCN())
+	psiPT := wavefunc.Clone(gs.Psi)
+	startPT := time.Now()
+	hAppsPT := 0
+	for pt.Time < tEndAU-1e-9 {
+		var stats core.StepStats
+		psiPT, stats, err = pt.Step(psiPT, 2.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hAppsPT += stats.HApplications
+	}
+	wallPT := time.Since(startPT)
+
+	// RK4 needs ~0.6 as steps for comparable accuracy/stability here.
+	rk := core.NewRK4(sys)
+	psiRK := wavefunc.Clone(gs.Psi)
+	startRK := time.Now()
+	hAppsRK := 0
+	for rk.Time < tEndAU-1e-9 {
+		var stats core.StepStats
+		psiRK, stats, err = rk.Step(psiRK, 0.025)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hAppsRK += stats.HApplications
+	}
+	wallRK := time.Since(startRK)
+
+	rhoPT := potential.Density(g, psiPT, nb, 2)
+	rhoRK := potential.Density(g, psiRK, nb, 2)
+	dd := potential.DensityDiff(g, rhoPT, rhoRK, 2*float64(nb))
+	fid := wavefunc.SubspaceFidelity(psiPT, psiRK, nb, g.NG)
+
+	fmt.Printf("%-22s %14s %14s\n", "", "PT-CN (48 as)", "RK4 (0.6 as)")
+	fmt.Printf("%-22s %14d %14d\n", "H applications", hAppsPT, hAppsRK)
+	fmt.Printf("%-22s %14.2f %14.2f\n", "wall time (s)", wallPT.Seconds(), wallRK.Seconds())
+	fmt.Printf("\nobservable agreement: density diff %.2e, subspace fidelity %.6f\n", dd, fid)
+	fmt.Printf("H-application advantage: %.1fx fewer for PT-CN\n", float64(hAppsRK)/float64(hAppsPT))
+	fmt.Printf("wall-clock advantage:    %.1fx\n", wallRK.Seconds()/wallPT.Seconds())
+	if math.Abs(fid-1) > 1e-3 {
+		fmt.Println("WARNING: propagators disagree - tighten the RK4 step")
+	}
+	fmt.Println("\n(the paper's Fig. 6 shows the same comparison at Si1536 scale on")
+	fmt.Println(" Summit, where the hybrid-functional Fock cost amplifies the gap to 20-30x)")
+}

@@ -1,0 +1,160 @@
+// Package checkpoint serializes and restores rt-TDDFT simulation state -
+// wavefunctions, simulation time, and metadata - so long runs (the paper's
+// production runs are 600 steps over many hours) can be split across job
+// allocations. The format is a versioned little-endian binary stream with
+// a whole-file checksum.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+)
+
+const (
+	magic   = 0x70746466_74636b70 // "ptdftckp"
+	version = 1
+)
+
+// State is the restartable simulation state.
+type State struct {
+	Time   float64 // simulation time (au)
+	Step   int64   // step counter
+	NBands int
+	NG     int
+	Natom  int64 // system identification for mismatch detection
+	Ecut   float64
+	Hybrid bool
+	Psi    []complex128 // band-major sphere coefficients
+}
+
+// Save writes the state to w.
+func Save(w io.Writer, s *State) error {
+	if len(s.Psi) != s.NBands*s.NG {
+		return fmt.Errorf("checkpoint: psi length %d != %d bands x %d", len(s.Psi), s.NBands, s.NG)
+	}
+	bw := bufio.NewWriter(w)
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	mw := io.MultiWriter(bw, crc)
+	hyb := int64(0)
+	if s.Hybrid {
+		hyb = 1
+	}
+	header := []uint64{
+		magic, version,
+		math.Float64bits(s.Time), uint64(s.Step),
+		uint64(s.NBands), uint64(s.NG), uint64(s.Natom),
+		math.Float64bits(s.Ecut), uint64(hyb),
+	}
+	for _, h := range header {
+		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 16)
+	for _, c := range s.Psi {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(real(c)))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(c)))
+		if _, err := mw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a state from r, verifying the checksum.
+func Load(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	tr := io.TeeReader(br, crc)
+	header := make([]uint64, 9)
+	for i := range header {
+		if err := binary.Read(tr, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("checkpoint: short header: %w", err)
+		}
+	}
+	if header[0] != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", header[0])
+	}
+	if header[1] != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", header[1])
+	}
+	s := &State{
+		Time:   math.Float64frombits(header[2]),
+		Step:   int64(header[3]),
+		NBands: int(header[4]),
+		NG:     int(header[5]),
+		Natom:  int64(header[6]),
+		Ecut:   math.Float64frombits(header[7]),
+		Hybrid: header[8] != 0,
+	}
+	n := s.NBands * s.NG
+	if n < 0 || n > 1<<34 {
+		return nil, fmt.Errorf("checkpoint: implausible size %d x %d", s.NBands, s.NG)
+	}
+	s.Psi = make([]complex128, n)
+	buf := make([]byte, 16)
+	for i := range s.Psi {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, fmt.Errorf("checkpoint: truncated at coefficient %d: %w", i, err)
+		}
+		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+		s.Psi[i] = complex(re, im)
+	}
+	want := crc.Sum64()
+	var got uint64
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("checkpoint: missing checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %#x, computed %#x)", got, want)
+	}
+	return s, nil
+}
+
+// SaveFile writes the state to path atomically (temp file + rename).
+func SaveFile(path string, s *State) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a state from path.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Compatible reports whether a loaded state matches the current system
+// discretization, with a descriptive error when it does not.
+func (s *State) Compatible(nbands, ng int, natom int64, ecut float64) error {
+	if s.NBands != nbands || s.NG != ng || s.Natom != natom || s.Ecut != ecut {
+		return fmt.Errorf("checkpoint: state for Si%d nb=%d NG=%d Ecut=%g does not match system Si%d nb=%d NG=%d Ecut=%g",
+			s.Natom, s.NBands, s.NG, s.Ecut, natom, nbands, ng, ecut)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleState(rng *rand.Rand) *State {
+	nb, ng := 4, 37
+	psi := make([]complex128, nb*ng)
+	for i := range psi {
+		psi[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return &State{
+		Time: 12.625, Step: 42, NBands: nb, NG: ng,
+		Natom: 8, Ecut: 4, Hybrid: true, Psi: psi,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := sampleState(rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != s.Time || got.Step != s.Step || got.NBands != s.NBands ||
+		got.NG != s.NG || got.Natom != s.Natom || got.Ecut != s.Ecut || got.Hybrid != s.Hybrid {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, s)
+	}
+	for i := range s.Psi {
+		if got.Psi[i] != s.Psi[i] {
+			t.Fatalf("psi differs at %d", i)
+		}
+	}
+}
+
+func TestFileRoundTripAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := sampleState(rng)
+	path := filepath.Join(t.TempDir(), "state.ckp")
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 42 {
+		t.Error("file round trip lost data")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := sampleState(rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("corruption not detected")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := sampleState(rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-20]
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("truncation not detected")
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := Load(bytes.NewReader(make([]byte, 100))); err == nil {
+		t.Error("bad magic not detected")
+	}
+}
+
+func TestSaveRejectsInconsistentState(t *testing.T) {
+	s := &State{NBands: 2, NG: 10, Psi: make([]complex128, 5)}
+	if err := Save(&bytes.Buffer{}, s); err == nil {
+		t.Error("inconsistent psi length not rejected")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	s := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3}
+	if err := s.Compatible(16, 257, 8, 3); err != nil {
+		t.Errorf("unexpected incompatibility: %v", err)
+	}
+	if err := s.Compatible(16, 257, 8, 4); err == nil {
+		t.Error("Ecut mismatch not detected")
+	}
+	if err := s.Compatible(32, 257, 8, 3); err == nil {
+		t.Error("band mismatch not detected")
+	}
+}

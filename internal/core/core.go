@@ -1,0 +1,261 @@
+// Package core implements the paper's primary contribution: real-time
+// TDDFT propagation in the parallel transport (PT) gauge with the implicit
+// Crank-Nicolson integrator (PT-CN, Algorithm 1), together with the
+// explicit 4th-order Runge-Kutta (RK4) baseline it is compared against in
+// Fig. 6.
+//
+// The PT gauge transforms the orbitals so they obey
+//
+//	i dPsi/dt = H Psi - Psi (Psi^* H Psi),
+//
+// the slowest-possible dynamics among all gauge choices; the density matrix
+// P = Psi Psi^* - and hence every physical observable - is unchanged.
+// Coupled with Crank-Nicolson this permits ~50 attosecond steps where RK4
+// needs ~0.5 as, cutting the number of Fock exchange applications by two
+// orders of magnitude - the enabling algorithm for hybrid-functional
+// rt-TDDFT at the thousand-atom scale.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/laser"
+	"ptdft/internal/linalg"
+	"ptdft/internal/mixing"
+	"ptdft/internal/potential"
+	"ptdft/internal/wavefunc"
+)
+
+// System bundles the pieces of a time-dependent simulation.
+type System struct {
+	G     *grid.Grid
+	H     *hamiltonian.Hamiltonian
+	NB    int         // occupied orbitals
+	Occ   float64     // orbital occupation (2 for closed shell)
+	Field laser.Field // external vector potential; nil for none
+}
+
+// Prepare refreshes every time- and state-dependent piece of H for the
+// given orbitals at time t, and returns the density. This is the
+// "update the potential and the Hamiltonian" step of Alg. 1 line 5.
+func (s *System) Prepare(psi []complex128, t float64) []float64 {
+	if s.Field != nil {
+		s.H.SetField(s.Field.A(t))
+	} else {
+		s.H.SetField([3]float64{})
+	}
+	rho := potential.Density(s.G, psi, s.NB, s.Occ)
+	s.H.UpdatePotential(rho)
+	s.H.SetFockOrbitals(psi, s.NB)
+	return rho
+}
+
+// PrepareWithDensity is Prepare with a caller-supplied density (used inside
+// the PT-CN SCF loop, where the density of the current iterate is already
+// known).
+func (s *System) PrepareWithDensity(psi []complex128, rho []float64, t float64) {
+	if s.Field != nil {
+		s.H.SetField(s.Field.A(t))
+	} else {
+		s.H.SetField([3]float64{})
+	}
+	s.H.UpdatePotential(rho)
+	s.H.SetFockOrbitals(psi, s.NB)
+}
+
+// StepStats records the work done in one propagation step - the quantities
+// the paper's Table 1 accounting is built from.
+type StepStats struct {
+	SCFIterations  int     // PT-CN only
+	HApplications  int     // full H*Psi band-set applications
+	DensityError   float64 // final SCF residual (PT-CN)
+	OrthogonalityE float64 // orthonormality error before re-orthogonalization
+}
+
+// ptResidual computes the PT residual R = H psi - psi (psi^* H psi) and
+// returns (R, HPsi). This is the right-hand side of the PT equation of
+// motion; its smallness relative to H psi is what buys the large steps.
+func ptResidual(g *grid.Grid, h *hamiltonian.Hamiltonian, psi []complex128, nb int) (res, hp []complex128) {
+	ng := g.NG
+	hp = make([]complex128, nb*ng)
+	h.Apply(hp, psi, nb)
+	s := make([]complex128, nb*nb)
+	linalg.Overlap(s, psi, hp, nb, nb, ng)
+	// res = hp - psi * S, band-major: res_j = hp_j - sum_i S[i][j] psi_i.
+	res = make([]complex128, nb*ng)
+	linalg.ApplyMatrix(res, psi, s, nb, nb, ng)
+	for i := range res {
+		res[i] = hp[i] - res[i]
+	}
+	return res, hp
+}
+
+// PTCNOptions control the implicit solver.
+type PTCNOptions struct {
+	MaxSCF     int     // cap on fixed-point iterations per step
+	TolDensity float64 // density convergence criterion (paper: 1e-6)
+	MixHistory int     // Anderson history (paper: 20)
+	MixBeta    float64 // Anderson relaxation
+}
+
+// DefaultPTCN mirrors the paper's settings (section 4).
+func DefaultPTCN() PTCNOptions {
+	return PTCNOptions{MaxSCF: 40, TolDensity: 1e-6, MixHistory: 20, MixBeta: 0.4}
+}
+
+// PTCN is the parallel transport Crank-Nicolson propagator (Algorithm 1).
+type PTCN struct {
+	Sys  *System
+	Opt  PTCNOptions
+	Time float64 // current simulation time (au)
+}
+
+// NewPTCN builds a PT-CN propagator starting at t = 0.
+func NewPTCN(sys *System, opt PTCNOptions) *PTCN {
+	return &PTCN{Sys: sys, Opt: opt}
+}
+
+// Step advances psi by dt using Algorithm 1 and returns the new orbitals.
+func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, error) {
+	s := p.Sys
+	g, h, nb := s.G, s.H, s.NB
+	ng := g.NG
+	var stats StepStats
+
+	// Line 1: residual Rn at time tn with the current state's H.
+	s.Prepare(psi, p.Time)
+	rn, _ := ptResidual(g, h, psi, nb)
+	stats.HApplications++
+
+	// Line 2: half-step RHS Psi_{n+1/2} = Psi_n - i dt/2 Rn.
+	half := make([]complex128, nb*ng)
+	ihalf := complex(0, dt/2)
+	for i := range half {
+		half[i] = psi[i] - ihalf*rn[i]
+	}
+	psif := wavefunc.Clone(half)
+
+	// Line 3: density of the trial state.
+	rhof := potential.Density(g, psif, nb, s.Occ)
+
+	mixer := mixing.NewBandMixer(nb, ng, p.Opt.MixHistory, p.Opt.MixBeta)
+	tNext := p.Time + dt
+	converged := false
+	for j := 0; j < p.Opt.MaxSCF; j++ {
+		// Line 5: refresh H_f from the current iterate.
+		s.PrepareWithDensity(psif, rhof, tNext)
+
+		// Line 6: fixed-point residual
+		// R_f = Psi_f + i dt/2 (H Psi_f - Psi_f (Psi_f^* H Psi_f)) - Psi_{n+1/2}.
+		rf, _ := ptResidual(g, h, psif, nb)
+		stats.HApplications++
+		fp := make([]complex128, nb*ng)
+		for i := range fp {
+			// Mixer convention: next = x + beta*f, so pass f = -R_f.
+			fp[i] = half[i] - psif[i] - ihalf*rf[i]
+		}
+
+		// Line 7: Anderson mixing per band.
+		psif = mixer.Mix(psif, fp)
+
+		// Line 8-9: density change convergence monitor.
+		rhoNew := potential.Density(g, psif, nb, s.Occ)
+		stats.DensityError = potential.DensityDiff(g, rhoNew, rhof, s.Occ*float64(nb))
+		rhof = rhoNew
+		stats.SCFIterations++
+		if stats.DensityError < p.Opt.TolDensity {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return nil, stats, fmt.Errorf("core: PT-CN SCF did not converge in %d iterations (density error %.3e)",
+			p.Opt.MaxSCF, stats.DensityError)
+	}
+
+	// Line 11: re-orthogonalize.
+	stats.OrthogonalityE = wavefunc.OrthonormalityError(psif, nb, ng)
+	if err := wavefunc.Orthonormalize(psif, nb, ng); err != nil {
+		return nil, stats, fmt.Errorf("core: orthogonalization failed: %w", err)
+	}
+	p.Time = tNext
+	return psif, stats, nil
+}
+
+// RK4 is the explicit 4th-order Runge-Kutta propagator for the original
+// Schroedinger-gauge equation i dPsi/dt = H(t, P) Psi - the baseline of
+// Fig. 6. Stability limits dt to ~0.5 as where PT-CN takes 50 as.
+type RK4 struct {
+	Sys  *System
+	Time float64
+	// ReorthoEvery re-orthonormalizes every k steps to curb drift
+	// (0 disables; explicit RK4 is not exactly unitary).
+	ReorthoEvery int
+	steps        int
+}
+
+// NewRK4 builds an RK4 propagator starting at t = 0.
+func NewRK4(sys *System) *RK4 { return &RK4{Sys: sys, ReorthoEvery: 20} }
+
+// derivative evaluates F(t, psi) = -i H(t, P[psi]) psi, rebuilding the
+// density, potentials and Fock operator from psi (the nonlinear TDDFT
+// right-hand side).
+func (r *RK4) derivative(psi []complex128, t float64) []complex128 {
+	s := r.Sys
+	s.Prepare(psi, t)
+	hp := make([]complex128, s.NB*s.G.NG)
+	s.H.Apply(hp, psi, s.NB)
+	for i := range hp {
+		hp[i] *= complex(0, -1)
+	}
+	return hp
+}
+
+// Step advances psi by dt with four H rebuilds/applications.
+func (r *RK4) Step(psi []complex128, dt float64) ([]complex128, StepStats, error) {
+	n := len(psi)
+	var stats StepStats
+	add := func(base []complex128, k []complex128, c float64) []complex128 {
+		out := make([]complex128, n)
+		cc := complex(c, 0)
+		for i := range out {
+			out[i] = base[i] + cc*k[i]
+		}
+		return out
+	}
+	k1 := r.derivative(psi, r.Time)
+	k2 := r.derivative(add(psi, k1, dt/2), r.Time+dt/2)
+	k3 := r.derivative(add(psi, k2, dt/2), r.Time+dt/2)
+	k4 := r.derivative(add(psi, k3, dt), r.Time+dt)
+	stats.HApplications = 4
+	out := make([]complex128, n)
+	c := complex(dt/6, 0)
+	for i := range out {
+		out[i] = psi[i] + c*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+	}
+	r.Time += dt
+	r.steps++
+	stats.OrthogonalityE = wavefunc.OrthonormalityError(out, r.Sys.NB, r.Sys.G.NG)
+	if r.ReorthoEvery > 0 && r.steps%r.ReorthoEvery == 0 {
+		if err := wavefunc.Orthonormalize(out, r.Sys.NB, r.Sys.G.NG); err != nil {
+			return nil, stats, fmt.Errorf("core: RK4 orthogonalization failed: %w", err)
+		}
+	}
+	if !finite(out) {
+		return nil, stats, errors.New("core: RK4 blew up (NaN/Inf); time step too large for stability")
+	}
+	return out, stats, nil
+}
+
+func finite(x []complex128) bool {
+	for _, v := range x {
+		if math.IsNaN(real(v)) || math.IsNaN(imag(v)) || math.IsInf(real(v), 0) || math.IsInf(imag(v), 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/laser"
+	"ptdft/internal/lattice"
+	"ptdft/internal/potential"
+	"ptdft/internal/pseudo"
+	"ptdft/internal/scf"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+// groundStateSystem builds a converged Si8 ground state to propagate.
+func groundStateSystem(t testing.TB, ecut float64, hybrid bool, field laser.Field) (*System, []complex128) {
+	t.Helper()
+	g := grid.MustNew(lattice.MustSiliconSupercell(1, 1, 1), ecut)
+	h := hamiltonian.New(g, map[int]*pseudo.Potential{0: pseudo.SiliconAH()},
+		hamiltonian.Config{Hybrid: hybrid, Params: xc.HSE06()})
+	nb := g.Cell.NumBands()
+	opt := scf.Defaults()
+	opt.TolDensity = 1e-8
+	if hybrid {
+		opt.MaxSCF = 40
+		opt.HybridOuter = 3
+	}
+	res, err := scf.GroundState(g, h, nb, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("ground state not converged (density error %g)", res.DensityError)
+	}
+	return &System{G: g, H: h, NB: nb, Occ: 2, Field: field}, res.Psi
+}
+
+func energyOf(s *System, psi []complex128, tm float64) float64 {
+	s.Prepare(psi, tm)
+	return s.H.TotalEnergy(psi, s.NB, s.Occ).Total()
+}
+
+func TestPTCNStepPreservesOrthonormalityAndNorm(t *testing.T) {
+	sys, psi := groundStateSystem(t, 3, false, nil)
+	p := NewPTCN(sys, DefaultPTCN())
+	out, stats, err := p.Step(psi, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SCFIterations < 1 {
+		t.Error("no SCF iterations recorded")
+	}
+	if e := wavefunc.OrthonormalityError(out, sys.NB, sys.G.NG); e > 1e-9 {
+		t.Errorf("orthonormality error after step: %g", e)
+	}
+}
+
+func TestPTCNStationaryGroundState(t *testing.T) {
+	// Propagating the ground state with no field must keep the density
+	// (and energy) fixed: the PT orbitals only acquire phases absorbed by
+	// the PT gauge, so even the orbitals stay close.
+	sys, psi := groundStateSystem(t, 3, false, nil)
+	rho0 := potential.Density(sys.G, psi, sys.NB, sys.Occ)
+	e0 := energyOf(sys, psi, 0)
+	p := NewPTCN(sys, DefaultPTCN())
+	cur := psi
+	var err error
+	for i := 0; i < 3; i++ {
+		cur, _, err = p.Step(cur, 2.0) // ~48 as steps
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rho1 := potential.Density(sys.G, cur, sys.NB, sys.Occ)
+	d := potential.DensityDiff(sys.G, rho0, rho1, 2*float64(sys.NB))
+	if d > 1e-5 {
+		t.Errorf("ground state density drifted by %g over 3 PT-CN steps", d)
+	}
+	e1 := energyOf(sys, cur, p.Time)
+	if math.Abs(e1-e0) > 1e-5*math.Abs(e0) {
+		t.Errorf("energy drifted: %g -> %g", e0, e1)
+	}
+}
+
+func TestPTCNEnergyConservationAfterKick(t *testing.T) {
+	// After an instantaneous vector-potential kick the Hamiltonian is time
+	// independent again, so the total energy must be conserved along the
+	// nonlinear propagation.
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	sys, psi := groundStateSystem(t, 3, false, kick)
+	p := NewPTCN(sys, DefaultPTCN())
+	cur, _, err := p.Step(psi, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eStart := energyOf(sys, cur, p.Time)
+	for i := 0; i < 4; i++ {
+		cur, _, err = p.Step(cur, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eEnd := energyOf(sys, cur, p.Time)
+	if math.Abs(eEnd-eStart) > 2e-5*(1+math.Abs(eStart)) {
+		t.Errorf("energy not conserved after kick: %.8f -> %.8f (drift %g)",
+			eStart, eEnd, eEnd-eStart)
+	}
+}
+
+func TestPTCNMatchesRK4Observables(t *testing.T) {
+	// The PT gauge is exact, so PT-CN differs from finely-stepped RK4 only
+	// by the O(dt^2) Crank-Nicolson discretization error. Verify (a) the
+	// difference is small at dt = 1 au (~24 as), and (b) it shrinks at
+	// second order when dt is halved.
+	kick := &laser.Kick{K: 0.05, Pol: [3]float64{0, 0, 1}}
+	sysA, psiA := groundStateSystem(t, 3, false, kick)
+	sysB := &System{G: sysA.G, H: sysA.H, NB: sysA.NB, Occ: 2, Field: kick}
+	psiB := wavefunc.Clone(psiA)
+
+	const tEnd = 2.0
+	var err error
+
+	// Reference: RK4 with a fine step.
+	rk := NewRK4(sysB)
+	for rk.Time < tEnd-1e-9 {
+		psiB, _, err = rk.Step(psiB, 0.025)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rhoRK := potential.Density(sysB.G, psiB, sysB.NB, 2)
+
+	runPT := func(dt float64) ([]float64, []complex128) {
+		pt := NewPTCN(sysA, DefaultPTCN())
+		cur := wavefunc.Clone(psiA)
+		for pt.Time < tEnd-1e-9 {
+			cur, _, err = pt.Step(cur, dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return potential.Density(sysA.G, cur, sysA.NB, 2), cur
+	}
+	rhoCoarse, psiCoarse := runPT(1.0)
+	rhoFine, _ := runPT(0.5)
+
+	dCoarse := potential.DensityDiff(sysA.G, rhoCoarse, rhoRK, 2*float64(sysA.NB))
+	dFine := potential.DensityDiff(sysA.G, rhoFine, rhoRK, 2*float64(sysA.NB))
+	if dCoarse > 5e-3 {
+		t.Errorf("PT-CN (dt=1.0) vs RK4 density differs by %g", dCoarse)
+	}
+	if dFine > dCoarse/2.5 {
+		t.Errorf("halving dt did not shrink error at ~2nd order: %g -> %g", dCoarse, dFine)
+	}
+	// Subspace fidelity is gauge invariant and must be ~1.
+	f := wavefunc.SubspaceFidelity(psiCoarse, psiB, sysA.NB, sysA.G.NG)
+	if math.Abs(f-1) > 2e-3 {
+		t.Errorf("subspace fidelity %g, want ~1", f)
+	}
+}
+
+func TestPTCNStepCountAdvantageOverRK4(t *testing.T) {
+	// The enabling claim: PT-CN takes steps ~40-100x larger than RK4 with
+	// far fewer H applications per unit time. Count them over t=2 au.
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	sys, psi := groundStateSystem(t, 3, false, kick)
+	pt := NewPTCN(sys, DefaultPTCN())
+	var hPT int
+	cur := psi
+	for pt.Time < 2.0-1e-9 {
+		var stats StepStats
+		var err error
+		cur, stats, err = pt.Step(cur, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hPT += stats.HApplications
+	}
+	// RK4 at the same accuracy would need dt <~ 0.025 au here:
+	// 80 steps x 4 applications = 320 vs PT-CN's ~10-30.
+	rk4Apps := int(2.0/0.025) * 4
+	if hPT*3 >= rk4Apps {
+		t.Errorf("PT-CN used %d H applications; expected at least 3x fewer than RK4's %d", hPT, rk4Apps)
+	}
+}
+
+func TestRK4StationaryGroundState(t *testing.T) {
+	sys, psi := groundStateSystem(t, 3, false, nil)
+	rho0 := potential.Density(sys.G, psi, sys.NB, 2)
+	rk := NewRK4(sys)
+	cur := psi
+	var err error
+	for i := 0; i < 20; i++ {
+		cur, _, err = rk.Step(cur, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rho1 := potential.Density(sys.G, cur, sys.NB, 2)
+	if d := potential.DensityDiff(sys.G, rho0, rho1, 2*float64(sys.NB)); d > 1e-6 {
+		t.Errorf("RK4 ground state density drifted by %g", d)
+	}
+}
+
+func TestPTCNHybridRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid propagation is slow")
+	}
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	sys, psi := groundStateSystem(t, 3, true, kick)
+	p := NewPTCN(sys, DefaultPTCN())
+	cur, stats, err := p.Step(psi, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SCFIterations < 1 {
+		t.Error("no SCF iterations")
+	}
+	e1 := energyOf(sys, cur, p.Time)
+	cur, _, err = p.Step(cur, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := energyOf(sys, cur, p.Time)
+	if math.Abs(e2-e1) > 5e-5*(1+math.Abs(e1)) {
+		t.Errorf("hybrid energy drift %g", e2-e1)
+	}
+}
+
+func TestPTCNFailsGracefullyWhenNotConverging(t *testing.T) {
+	sys, psi := groundStateSystem(t, 3, false, nil)
+	opt := DefaultPTCN()
+	opt.MaxSCF = 1
+	opt.TolDensity = 1e-300 // unreachable
+	p := NewPTCN(sys, opt)
+	if _, _, err := p.Step(psi, 1.0); err == nil {
+		t.Error("expected convergence failure error")
+	}
+}

@@ -1,0 +1,170 @@
+package fock
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ptdft/internal/grid"
+	"ptdft/internal/lattice"
+	"ptdft/internal/linalg"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+func setup(t *testing.T, nb int) (*grid.Grid, []complex128, *Operator) {
+	t.Helper()
+	g := grid.MustNew(lattice.MustSiliconSupercell(1, 1, 1), 3)
+	phi := wavefunc.Random(g, nb, 42)
+	op := NewOperator(g, xc.HSE06(), phi, nb)
+	return g, phi, op
+}
+
+func TestFockHermitian(t *testing.T) {
+	g, _, op := setup(t, 4)
+	a := wavefunc.Random(g, 2, 7)
+	ng := g.NG
+	va := make([]complex128, 2*ng)
+	op.Apply(va, a, 2)
+	// <a_0|V a_1> == conj(<a_1|V a_0>)
+	m01 := linalg.Dot(a[:ng], va[ng:])
+	m10 := linalg.Dot(a[ng:], va[:ng])
+	if cmplx.Abs(m01-cmplx.Conj(m10)) > 1e-9*(1+cmplx.Abs(m01)) {
+		t.Errorf("Fock operator not Hermitian: %v vs conj %v", m01, cmplx.Conj(m10))
+	}
+}
+
+func TestFockNegativeDefiniteOnSpan(t *testing.T) {
+	g, phi, op := setup(t, 4)
+	ng := g.NG
+	v := make([]complex128, 4*ng)
+	op.Apply(v, phi, 4)
+	for j := 0; j < 4; j++ {
+		e := real(linalg.Dot(phi[j*ng:(j+1)*ng], v[j*ng:(j+1)*ng]))
+		if e >= 0 {
+			t.Errorf("band %d: <phi|Vx phi> = %g, want negative", j, e)
+		}
+	}
+}
+
+func TestFockEnergyNegative(t *testing.T) {
+	g, phi, op := setup(t, 4)
+	_ = g
+	e := op.Energy(phi, 4)
+	if e >= 0 {
+		t.Errorf("exchange energy %g, want negative", e)
+	}
+}
+
+func TestFockLinear(t *testing.T) {
+	g, _, op := setup(t, 3)
+	ng := g.NG
+	a := wavefunc.Random(g, 1, 11)
+	b := wavefunc.Random(g, 1, 13)
+	alpha := complex(0.7, -0.3)
+	c := make([]complex128, ng)
+	for i := range c {
+		c[i] = a[i] + alpha*b[i]
+	}
+	va := make([]complex128, ng)
+	vb := make([]complex128, ng)
+	vc := make([]complex128, ng)
+	op.Apply(va, a, 1)
+	op.Apply(vb, b, 1)
+	op.Apply(vc, c, 1)
+	for i := range vc {
+		want := va[i] + alpha*vb[i]
+		if cmplx.Abs(vc[i]-want) > 1e-9 {
+			t.Fatalf("Fock not linear at %d", i)
+		}
+	}
+}
+
+func TestFockKernelMatchesXC(t *testing.T) {
+	g := grid.MustNew(lattice.MustSiliconSupercell(1, 1, 1), 3)
+	hyb := xc.HSE06()
+	kernel := BuildKernel(g, hyb)
+	// Index 0 is G=0: the finite screened limit.
+	want := math.Pi / (hyb.Omega * hyb.Omega)
+	if math.Abs(kernel[0]-want) > 1e-9*want {
+		t.Errorf("kernel[G=0] = %g, want %g", kernel[0], want)
+	}
+	for i, k := range kernel {
+		if k <= 0 {
+			t.Fatalf("kernel not positive at %d: %g", i, k)
+		}
+	}
+}
+
+func TestSetOrbitalsChangesOperator(t *testing.T) {
+	g, phi, op := setup(t, 3)
+	ng := g.NG
+	test := wavefunc.Random(g, 1, 5)
+	v1 := make([]complex128, ng)
+	op.Apply(v1, test, 1)
+	phi2 := wavefunc.Random(g, 3, 99)
+	op.SetOrbitals(phi2, 3)
+	v2 := make([]complex128, ng)
+	op.Apply(v2, test, 1)
+	if wavefunc.MaxDiff(v1, v2) < 1e-10 {
+		t.Error("operator unchanged after SetOrbitals")
+	}
+	_ = phi
+}
+
+func TestACEMatchesExactOnSpan(t *testing.T) {
+	g, phi, op := setup(t, 4)
+	ng := g.NG
+	ace, err := NewACE(op, phi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ace.Rank() != 4 {
+		t.Errorf("ACE rank %d, want 4", ace.Rank())
+	}
+	exact := make([]complex128, 4*ng)
+	op.Apply(exact, phi, 4)
+	compressed := make([]complex128, 4*ng)
+	ace.Apply(compressed, phi, 4)
+	if d := wavefunc.MaxDiff(exact, compressed); d > 1e-8 {
+		t.Errorf("ACE differs from exact on reference span by %g", d)
+	}
+}
+
+func TestACEHermitianNegative(t *testing.T) {
+	g, phi, op := setup(t, 4)
+	ng := g.NG
+	ace, err := NewACE(op, phi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := wavefunc.Random(g, 2, 21)
+	vx := make([]complex128, 2*ng)
+	ace.Apply(vx, x, 2)
+	m01 := linalg.Dot(x[:ng], vx[ng:])
+	m10 := linalg.Dot(x[ng:], vx[:ng])
+	if cmplx.Abs(m01-cmplx.Conj(m10)) > 1e-9*(1+cmplx.Abs(m01)) {
+		t.Error("ACE operator not Hermitian")
+	}
+	e := real(linalg.Dot(x[:ng], vx[:ng]))
+	if e > 1e-12 {
+		t.Errorf("ACE quadratic form %g, want <= 0", e)
+	}
+}
+
+func BenchmarkFockApplySingleBand(b *testing.B) {
+	g := grid.MustNew(lattice.MustSiliconSupercell(1, 1, 1), 4)
+	nb := 16
+	phi := wavefunc.Random(g, nb, 1)
+	op := NewOperator(g, xc.HSE06(), phi, nb)
+	x := wavefunc.Random(g, 1, 2)
+	v := make([]complex128, g.NG)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range v {
+			v[k] = 0
+		}
+		op.Apply(v, x, 1)
+	}
+}

@@ -1,0 +1,318 @@
+// Package fourier implements complex discrete Fourier transforms used by the
+// plane-wave machinery: mixed-radix Cooley-Tukey for sizes whose prime
+// factors are at most 61 and a Bluestein chirp-z fallback for everything
+// else, plus 3D plans that parallelize over grid pencils. It is the CUFFT
+// stand-in of the reproduction: the Fock exchange operator performs all of
+// its N^2 Poisson-like solves through these plans.
+//
+// Conventions: Forward computes X[k] = sum_j x[j] exp(-2*pi*i*j*k/N) with no
+// normalization; Inverse carries the 1/N factor so Inverse(Forward(x)) == x.
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// maxDirectRadix is the largest prime handled by the O(r^2) generic
+// butterfly inside the mixed-radix recursion. Larger prime factors route the
+// whole transform through Bluestein.
+const maxDirectRadix = 61
+
+// Plan holds precomputed twiddle tables for a 1D transform of fixed length.
+// A Plan is immutable after creation and safe for concurrent use.
+type Plan struct {
+	n       int
+	factors []int        // prime factorization of n, ascending
+	tw      []complex128 // tw[j] = exp(-2*pi*i*j/n)
+	twInv   []complex128 // twInv[j] = exp(+2*pi*i*j/n)
+	blu     *bluestein   // non-nil when a prime factor exceeds maxDirectRadix
+}
+
+// NewPlan creates a transform plan for length n >= 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fourier: transform length %d < 1", n)
+	}
+	p := &Plan{n: n, factors: mergeRadix4(factorize(n))}
+	p.tw = make([]complex128, n)
+	p.twInv = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		p.tw[j] = complex(c, s)
+		p.twInv[j] = complex(c, -s)
+	}
+	if len(p.factors) > 0 && p.factors[len(p.factors)-1] > maxDirectRadix {
+		b, err := newBluestein(n)
+		if err != nil {
+			return nil, err
+		}
+		p.blu = b
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error; for use with known-good sizes.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len reports the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the unnormalized DFT of src into dst.
+// dst and src must have length Len() and must not alias.
+func (p *Plan) Forward(dst, src []complex128) {
+	p.transform(dst, src, false)
+}
+
+// Inverse computes the inverse DFT (including the 1/N factor) of src into
+// dst. dst and src must have length Len() and must not alias.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.transform(dst, src, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+}
+
+func (p *Plan) transform(dst, src []complex128, inverse bool) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("fourier: buffer length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src)))
+	}
+	if p.n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	if p.blu != nil {
+		p.blu.transform(dst, src, inverse)
+		return
+	}
+	tw := p.tw
+	if inverse {
+		tw = p.twInv
+	}
+	p.recurse(dst, src, p.n, 1, tw, p.factors)
+}
+
+// recurse performs a decimation-in-time mixed-radix step: it splits length n
+// into r sub-transforms of length m = n/r reading src with stride, then
+// combines them in place in dst. tw is the full-length twiddle table; the
+// roots of unity of any sub-length divide the top-level table evenly.
+func (p *Plan) recurse(dst, src []complex128, n, stride int, tw []complex128, factors []int) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := factors[len(factors)-1] // split off the largest factor for shallow recursion
+	m := n / r
+	sub := factors[:len(factors)-1]
+	for q := 0; q < r; q++ {
+		p.recurse(dst[q*m:(q+1)*m], src[q*stride:], m, stride*r, tw, sub)
+	}
+	// Combine: X[k + p*m] = sum_q tw_n^{q*k} * tw_r^{q*p} * F_q[k].
+	step := p.n / n  // maps exponents mod n onto the length-N table
+	rstep := p.n / r // maps exponents mod r onto the length-N table
+	var t [maxDirectRadix]complex128
+	switch r {
+	case 2:
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * tw[k*step]
+			dst[k] = a + b
+			dst[m+k] = a - b
+		}
+	case 3:
+		w1 := tw[rstep]
+		w2 := tw[2*rstep]
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * tw[k*step]
+			c := dst[2*m+k] * tw[(2*k*step)%p.n]
+			dst[k] = a + b + c
+			dst[m+k] = a + b*w1 + c*w2
+			dst[2*m+k] = a + b*w2 + c*w1
+		}
+	case 4:
+		// i factor differs between forward and inverse tables; read it from tw.
+		j := tw[rstep] // -i forward, +i inverse
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * tw[k*step]
+			c := dst[2*m+k] * tw[(2*k*step)%p.n]
+			d := dst[3*m+k] * tw[(3*k*step)%p.n]
+			apc, amc := a+c, a-c
+			bpd, bmd := b+d, (b-d)*j
+			dst[k] = apc + bpd
+			dst[m+k] = amc + bmd
+			dst[2*m+k] = apc - bpd
+			dst[3*m+k] = amc - bmd
+		}
+	default:
+		for k := 0; k < m; k++ {
+			for q := 0; q < r; q++ {
+				t[q] = dst[q*m+k] * tw[(q*k*step)%p.n]
+			}
+			for pp := 0; pp < r; pp++ {
+				acc := t[0]
+				for q := 1; q < r; q++ {
+					acc += t[q] * tw[(q*pp*rstep)%p.n]
+				}
+				dst[pp*m+k] = acc
+			}
+		}
+	}
+}
+
+// mergeRadix4 rewrites pairs of 2s as radix-4 passes, which have a cheaper
+// butterfly, keeping the list sorted ascending.
+func mergeRadix4(f []int) []int {
+	twos := 0
+	rest := f[:0]
+	for _, v := range f {
+		if v == 2 {
+			twos++
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	out := make([]int, 0, len(f))
+	if twos%2 == 1 {
+		out = append(out, 2)
+	}
+	for i := 0; i < twos/2; i++ {
+		out = append(out, 4)
+	}
+	out = append(out, rest...)
+	// rest was already ascending and >= 3; a single insertion pass keeps
+	// the merged list sorted.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// factorize returns the ascending prime factorization of n >= 1.
+func factorize(n int) []int {
+	var f []int
+	for d := 2; d*d <= n; d++ {
+		for n%d == 0 {
+			f = append(f, d)
+			n /= d
+		}
+	}
+	if n > 1 {
+		f = append(f, n)
+	}
+	return f
+}
+
+// IsFast reports whether n factors entirely into primes <= 7, the sizes for
+// which the mixed-radix path is most efficient.
+func IsFast(n int) bool {
+	if n < 1 {
+		return false
+	}
+	for _, d := range []int{2, 3, 5, 7} {
+		for n%d == 0 {
+			n /= d
+		}
+	}
+	return n == 1
+}
+
+// NextFast returns the smallest m >= n with prime factors <= 7.
+func NextFast(n int) int {
+	if n < 1 {
+		return 1
+	}
+	for !IsFast(n) {
+		n++
+	}
+	return n
+}
+
+// bluestein implements the chirp-z transform for arbitrary lengths via a
+// power-of-two convolution.
+type bluestein struct {
+	n     int
+	m     int // power-of-two convolution length >= 2n-1
+	inner *Plan
+	chirp []complex128 // chirp[j] = exp(-i*pi*j^2/n), j in [0, n)
+	// kernelF / kernelB are the precomputed forward FFTs of the padded
+	// conjugate-chirp sequences for the forward and inverse transforms.
+	kernelF []complex128
+	kernelB []complex128
+}
+
+func newBluestein(n int) (*bluestein, error) {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	inner, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	b := &bluestein{n: n, m: m, inner: inner}
+	b.chirp = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// j^2 mod 2n keeps the argument bounded for large n.
+		e := float64((j * j) % (2 * n))
+		b.chirp[j] = cmplx.Exp(complex(0, -math.Pi*e/float64(n)))
+	}
+	mk := func(conjugate bool) []complex128 {
+		seq := make([]complex128, m)
+		for j := 0; j < n; j++ {
+			c := b.chirp[j]
+			if conjugate {
+				c = cmplx.Conj(c)
+			}
+			// The convolution kernel is the conjugate chirp.
+			seq[j] = cmplx.Conj(c)
+			if j > 0 {
+				seq[m-j] = cmplx.Conj(c)
+			}
+		}
+		out := make([]complex128, m)
+		inner.Forward(out, seq)
+		return out
+	}
+	b.kernelF = mk(false)
+	b.kernelB = mk(true)
+	return b, nil
+}
+
+func (b *bluestein) transform(dst, src []complex128, inverse bool) {
+	chirpAt := func(j int) complex128 {
+		c := b.chirp[j]
+		if inverse {
+			c = cmplx.Conj(c)
+		}
+		return c
+	}
+	kernel := b.kernelF
+	if inverse {
+		kernel = b.kernelB
+	}
+	a := make([]complex128, b.m)
+	for j := 0; j < b.n; j++ {
+		a[j] = src[j] * chirpAt(j)
+	}
+	fa := make([]complex128, b.m)
+	b.inner.Forward(fa, a)
+	for i := range fa {
+		fa[i] *= kernel[i]
+	}
+	b.inner.Inverse(a, fa)
+	for k := 0; k < b.n; k++ {
+		dst[k] = a[k] * chirpAt(k)
+	}
+}

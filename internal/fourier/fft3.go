@@ -1,0 +1,203 @@
+package fourier
+
+import (
+	"fmt"
+
+	"ptdft/internal/parallel"
+)
+
+// Plan3 is a three-dimensional transform plan over a row-major grid with
+// index (ix*Ny + iy)*Nz + iz. Forward/Inverse parallelize over pencils using
+// the shared worker pool. A Plan3 is immutable and safe for concurrent use.
+type Plan3 struct {
+	nx, ny, nz int
+	px, py, pz *Plan
+}
+
+// NewPlan3 creates a 3D plan for an nx x ny x nz grid.
+func NewPlan3(nx, ny, nz int) (*Plan3, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("fourier: invalid 3D dims %dx%dx%d", nx, ny, nz)
+	}
+	px, err := NewPlan(nx)
+	if err != nil {
+		return nil, err
+	}
+	py, err := NewPlan(ny)
+	if err != nil {
+		return nil, err
+	}
+	pz, err := NewPlan(nz)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan3{nx: nx, ny: ny, nz: nz, px: px, py: py, pz: pz}, nil
+}
+
+// MustPlan3 is NewPlan3 that panics on error.
+func MustPlan3(nx, ny, nz int) *Plan3 {
+	p, err := NewPlan3(nx, ny, nz)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Dims reports the grid dimensions.
+func (p *Plan3) Dims() (nx, ny, nz int) { return p.nx, p.ny, p.nz }
+
+// Size reports the total number of grid points.
+func (p *Plan3) Size() int { return p.nx * p.ny * p.nz }
+
+// Forward computes the unnormalized 3D DFT of src into dst.
+// Buffers must have length Size(); dst and src may alias.
+func (p *Plan3) Forward(dst, src []complex128) { p.apply(dst, src, false) }
+
+// Inverse computes the normalized (1/N) inverse 3D DFT of src into dst.
+// Buffers must have length Size(); dst and src may alias.
+func (p *Plan3) Inverse(dst, src []complex128) {
+	p.apply(dst, src, true)
+	scale := complex(1/float64(p.Size()), 0)
+	parallel.ForBlock(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] *= scale
+		}
+	})
+}
+
+func (p *Plan3) apply(dst, src []complex128, inverse bool) {
+	n := p.Size()
+	if len(dst) != n || len(src) != n {
+		panic(fmt.Sprintf("fourier: 3D buffer length mismatch: plan %d, dst %d, src %d", n, len(dst), len(src)))
+	}
+	nx, ny, nz := p.nx, p.ny, p.nz
+	oneD := func(pl *Plan, dstRow, srcRow []complex128) {
+		if inverse {
+			// Unnormalized inverse; the 1/N factor is applied once at the end.
+			pl.transform(dstRow, srcRow, true)
+		} else {
+			pl.transform(dstRow, srcRow, false)
+		}
+	}
+
+	// Pass 1: transform along z (contiguous pencils), src -> dst.
+	parallel.ForBlock(nx*ny, func(lo, hi int) {
+		buf := make([]complex128, nz)
+		for r := lo; r < hi; r++ {
+			row := dst[r*nz : (r+1)*nz]
+			oneD(p.pz, buf, src[r*nz:(r+1)*nz])
+			copy(row, buf)
+		}
+	})
+
+	// Pass 2: transform along y (stride nz) in place in dst.
+	parallel.ForBlock(nx*nz, func(lo, hi int) {
+		in := make([]complex128, ny)
+		out := make([]complex128, ny)
+		for r := lo; r < hi; r++ {
+			ix, iz := r/nz, r%nz
+			base := ix*ny*nz + iz
+			for iy := 0; iy < ny; iy++ {
+				in[iy] = dst[base+iy*nz]
+			}
+			oneD(p.py, out, in)
+			for iy := 0; iy < ny; iy++ {
+				dst[base+iy*nz] = out[iy]
+			}
+		}
+	})
+
+	// Pass 3: transform along x (stride ny*nz) in place in dst.
+	stride := ny * nz
+	parallel.ForBlock(ny*nz, func(lo, hi int) {
+		in := make([]complex128, nx)
+		out := make([]complex128, nx)
+		for r := lo; r < hi; r++ {
+			for ix := 0; ix < nx; ix++ {
+				in[ix] = dst[r+ix*stride]
+			}
+			oneD(p.px, out, in)
+			for ix := 0; ix < nx; ix++ {
+				dst[r+ix*stride] = out[ix]
+			}
+		}
+	})
+}
+
+// ForwardBatch applies Forward to nb arrays stored back to back in src,
+// writing the transforms back to back into dst. This mirrors the batched
+// CUFFT execution of the paper (optimization step 2 in section 3.2): the
+// batch is distributed across the worker pool one transform per task so
+// wide batches saturate all workers even when individual grids are small.
+func (p *Plan3) ForwardBatch(dst, src []complex128, nb int) { p.applyBatch(dst, src, nb, false) }
+
+// InverseBatch applies Inverse to nb arrays stored back to back.
+func (p *Plan3) InverseBatch(dst, src []complex128, nb int) { p.applyBatch(dst, src, nb, true) }
+
+func (p *Plan3) applyBatch(dst, src []complex128, nb int, inverse bool) {
+	n := p.Size()
+	if len(dst) != nb*n || len(src) != nb*n {
+		panic(fmt.Sprintf("fourier: batch buffer mismatch: want %d elements, dst %d, src %d", nb*n, len(dst), len(src)))
+	}
+	// Individual transforms run single-threaded inside a batch; the batch
+	// dimension supplies the parallelism.
+	parallel.For(nb, func(b int) {
+		d := dst[b*n : (b+1)*n]
+		s := src[b*n : (b+1)*n]
+		p.applySerial(d, s, inverse)
+		if inverse {
+			scale := complex(1/float64(n), 0)
+			for i := range d {
+				d[i] *= scale
+			}
+		}
+	})
+}
+
+// ApplySerial runs a single transform without touching the worker pool,
+// for callers that manage their own outer parallelism. The inverse variant
+// includes the 1/N normalization.
+func (p *Plan3) ApplySerial(dst, src []complex128, inverse bool) {
+	p.applySerial(dst, src, inverse)
+	if inverse {
+		scale := complex(1/float64(p.Size()), 0)
+		for i := range dst {
+			dst[i] *= scale
+		}
+	}
+}
+
+// applySerial is the single-goroutine transform core (unnormalized).
+func (p *Plan3) applySerial(dst, src []complex128, inverse bool) {
+	nx, ny, nz := p.nx, p.ny, p.nz
+	buf := make([]complex128, nz)
+	for r := 0; r < nx*ny; r++ {
+		p.pz.transform(buf, src[r*nz:(r+1)*nz], inverse)
+		copy(dst[r*nz:(r+1)*nz], buf)
+	}
+	in := make([]complex128, ny)
+	out := make([]complex128, ny)
+	for r := 0; r < nx*nz; r++ {
+		ix, iz := r/nz, r%nz
+		base := ix*ny*nz + iz
+		for iy := 0; iy < ny; iy++ {
+			in[iy] = dst[base+iy*nz]
+		}
+		p.py.transform(out, in, inverse)
+		for iy := 0; iy < ny; iy++ {
+			dst[base+iy*nz] = out[iy]
+		}
+	}
+	stride := ny * nz
+	inx := make([]complex128, nx)
+	outx := make([]complex128, nx)
+	for r := 0; r < ny*nz; r++ {
+		for ix := 0; ix < nx; ix++ {
+			inx[ix] = dst[r+ix*stride]
+		}
+		p.px.transform(outx, inx, inverse)
+		for ix := 0; ix < nx; ix++ {
+			dst[r+ix*stride] = outx[ix]
+		}
+	}
+}

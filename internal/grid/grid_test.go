@@ -1,0 +1,283 @@
+package grid
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ptdft/internal/lattice"
+)
+
+func si8Grid(t *testing.T, ecut float64) *Grid {
+	t.Helper()
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	g, err := New(cell, ecut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPaperGridDimensions(t *testing.T) {
+	// Section 4: Si1536 = 4x6x8 unit cells, Ecut = 10 Ha gives a
+	// wavefunction grid of 60x90x120 (NG = 648,000 reported as the box
+	// size) and a charge density grid of 120x180x240.
+	cell := lattice.MustSiliconSupercell(4, 6, 8)
+	g, err := New(cell, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != [3]int{60, 90, 120} {
+		t.Errorf("wavefunction grid = %v, paper reports 60x90x120", g.N)
+	}
+	if g.ND != [3]int{120, 180, 240} {
+		t.Errorf("density grid = %v, paper reports 120x180x240", g.ND)
+	}
+	if g.NTot != 648000 {
+		t.Errorf("NTot = %d, paper reports 648000", g.NTot)
+	}
+	if cell.NumAtoms() != 1536 {
+		t.Errorf("atoms = %d, want 1536", cell.NumAtoms())
+	}
+	if cell.NumBands() != 3072 {
+		t.Errorf("bands = %d, paper reports 3072 occupied wavefunctions", cell.NumBands())
+	}
+}
+
+func TestSphereWithinCutoff(t *testing.T) {
+	g := si8Grid(t, 5)
+	if g.NG == 0 {
+		t.Fatal("empty G sphere")
+	}
+	for i, g2 := range g.G2 {
+		if g2/2 > g.Ecut+1e-12 {
+			t.Fatalf("sphere entry %d above cutoff: %g", i, g2/2)
+		}
+	}
+	// G=0 must be present.
+	found := false
+	for _, g2 := range g.G2 {
+		if g2 == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("G=0 not in sphere")
+	}
+}
+
+func TestSphereClosedUnderNegation(t *testing.T) {
+	g := si8Grid(t, 5)
+	type key [3]int
+	set := make(map[key]bool, g.NG)
+	for _, m := range g.MillerIdx {
+		set[key{m[0], m[1], m[2]}] = true
+	}
+	for _, m := range g.MillerIdx {
+		if !set[key{-m[0], -m[1], -m[2]}] {
+			t.Fatalf("sphere not symmetric: missing -G for %v", m)
+		}
+	}
+}
+
+func TestToRealFromRealRoundTrip(t *testing.T) {
+	g := si8Grid(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	c := make([]complex128, g.NG)
+	for i := range c {
+		c[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	box := make([]complex128, g.NTot)
+	g.ToReal(box, c)
+	c2 := make([]complex128, g.NG)
+	g.FromReal(c2, box)
+	for i := range c {
+		if cmplx.Abs(c[i]-c2[i]) > 1e-10 {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, c[i], c2[i])
+		}
+	}
+}
+
+func TestSerialTransformsMatchParallel(t *testing.T) {
+	g := si8Grid(t, 4)
+	rng := rand.New(rand.NewSource(2))
+	c := make([]complex128, g.NG)
+	for i := range c {
+		c[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	a := make([]complex128, g.NTot)
+	b := make([]complex128, g.NTot)
+	g.ToReal(a, c)
+	g.ToRealSerial(b, c)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-10 {
+			t.Fatalf("serial ToReal differs at %d", i)
+		}
+	}
+	ca := make([]complex128, g.NG)
+	cb := make([]complex128, g.NG)
+	copyBox := make([]complex128, g.NTot)
+	copy(copyBox, a)
+	g.FromReal(ca, a)
+	g.FromRealSerial(cb, copyBox)
+	for i := range ca {
+		if cmplx.Abs(ca[i]-cb[i]) > 1e-10 {
+			t.Fatalf("serial FromReal differs at %d", i)
+		}
+	}
+}
+
+func TestNormalizationParseval(t *testing.T) {
+	// A normalized sphere vector must integrate |psi|^2 to 1 on both boxes.
+	g := si8Grid(t, 4)
+	rng := rand.New(rand.NewSource(3))
+	c := make([]complex128, g.NG)
+	var norm float64
+	for i := range c {
+		c[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(c[i])*real(c[i]) + imag(c[i])*imag(c[i])
+	}
+	s := complex(1/math.Sqrt(norm), 0)
+	for i := range c {
+		c[i] *= s
+	}
+	box := make([]complex128, g.NTot)
+	g.ToReal(box, c)
+	var integral float64
+	for _, v := range box {
+		integral += real(v)*real(v) + imag(v)*imag(v)
+	}
+	integral *= g.DVWave()
+	if math.Abs(integral-1) > 1e-10 {
+		t.Errorf("wave box norm integral = %g, want 1", integral)
+	}
+	boxD := make([]complex128, g.NDTot)
+	g.ToRealDense(boxD, c)
+	integral = 0
+	for _, v := range boxD {
+		integral += real(v)*real(v) + imag(v)*imag(v)
+	}
+	integral *= g.DV()
+	if math.Abs(integral-1) > 1e-10 {
+		t.Errorf("dense box norm integral = %g, want 1", integral)
+	}
+}
+
+func TestDenseForwardInverseRoundTrip(t *testing.T) {
+	g := si8Grid(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	f := make([]complex128, g.NDTot)
+	for i := range f {
+		f[i] = complex(rng.NormFloat64(), 0)
+	}
+	coeff := make([]complex128, g.NDTot)
+	g.DenseForward(coeff, f)
+	back := make([]complex128, g.NDTot)
+	g.DenseInverse(back, coeff)
+	for i := range f {
+		if cmplx.Abs(f[i]-back[i]) > 1e-10 {
+			t.Fatalf("dense round trip differs at %d", i)
+		}
+	}
+}
+
+func TestDenseForwardConstantField(t *testing.T) {
+	g := si8Grid(t, 3)
+	f := make([]complex128, g.NDTot)
+	for i := range f {
+		f[i] = 2.5
+	}
+	coeff := make([]complex128, g.NDTot)
+	g.DenseForward(coeff, f)
+	// Only the G=0 coefficient (linear index 0) should be nonzero.
+	if cmplx.Abs(coeff[0]-2.5) > 1e-10 {
+		t.Errorf("G=0 coefficient = %v, want 2.5", coeff[0])
+	}
+	for i := 1; i < len(coeff); i++ {
+		if cmplx.Abs(coeff[i]) > 1e-10 {
+			t.Fatalf("nonzero coefficient at %d: %v", i, coeff[i])
+		}
+	}
+}
+
+func TestRestrictDenseToWavePlaneWave(t *testing.T) {
+	// A single low-G plane wave on the dense grid must restrict to the same
+	// plane wave sampled on the wavefunction grid.
+	g := si8Grid(t, 4)
+	m := [3]int{1, -2, 1}
+	b := [3]float64{2 * math.Pi / g.Cell.L[0], 2 * math.Pi / g.Cell.L[1], 2 * math.Pi / g.Cell.L[2]}
+	gv := [3]float64{float64(m[0]) * b[0], float64(m[1]) * b[1], float64(m[2]) * b[2]}
+	dense := make([]complex128, g.NDTot)
+	idx := 0
+	for ix := 0; ix < g.ND[0]; ix++ {
+		x := float64(ix) / float64(g.ND[0]) * g.Cell.L[0]
+		for iy := 0; iy < g.ND[1]; iy++ {
+			y := float64(iy) / float64(g.ND[1]) * g.Cell.L[1]
+			for iz := 0; iz < g.ND[2]; iz++ {
+				z := float64(iz) / float64(g.ND[2]) * g.Cell.L[2]
+				ph := gv[0]*x + gv[1]*y + gv[2]*z
+				dense[idx] = cmplx.Exp(complex(0, ph))
+				idx++
+			}
+		}
+	}
+	wave := make([]complex128, g.NTot)
+	g.RestrictDenseToWave(wave, dense)
+	idx = 0
+	for ix := 0; ix < g.N[0]; ix++ {
+		x := float64(ix) / float64(g.N[0]) * g.Cell.L[0]
+		for iy := 0; iy < g.N[1]; iy++ {
+			y := float64(iy) / float64(g.N[1]) * g.Cell.L[1]
+			for iz := 0; iz < g.N[2]; iz++ {
+				z := float64(iz) / float64(g.N[2]) * g.Cell.L[2]
+				ph := gv[0]*x + gv[1]*y + gv[2]*z
+				want := cmplx.Exp(complex(0, ph))
+				if cmplx.Abs(wave[idx]-want) > 1e-9 {
+					t.Fatalf("restriction differs at %d: got %v want %v", idx, wave[idx], want)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestWavePointPositions(t *testing.T) {
+	g := si8Grid(t, 3)
+	pos := g.WavePointPositions()
+	if len(pos) != g.NTot {
+		t.Fatalf("positions length %d, want %d", len(pos), g.NTot)
+	}
+	// First point is the origin; all points inside the cell.
+	if pos[0] != [3]float64{0, 0, 0} {
+		t.Errorf("first position %v, want origin", pos[0])
+	}
+	for _, p := range pos {
+		for d := 0; d < 3; d++ {
+			if p[d] < 0 || p[d] >= g.Cell.L[d] {
+				t.Fatalf("position %v outside cell", p)
+			}
+		}
+	}
+}
+
+func TestMillerIndexMapping(t *testing.T) {
+	for _, n := range []int{5, 6, 8, 9} {
+		for k := 0; k < n; k++ {
+			m := millerFromIndex(k, n)
+			if indexFromMiller(m, n) != k {
+				t.Fatalf("miller mapping not invertible: n=%d k=%d m=%d", n, k, m)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadCutoff(t *testing.T) {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	if _, err := New(cell, 0); err == nil {
+		t.Error("expected error for zero cutoff")
+	}
+	if _, err := New(cell, -1); err == nil {
+		t.Error("expected error for negative cutoff")
+	}
+}

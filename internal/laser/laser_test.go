@@ -1,0 +1,86 @@
+package laser
+
+import (
+	"math"
+	"testing"
+
+	"ptdft/internal/units"
+)
+
+func TestPulseFrequencyIs380nm(t *testing.T) {
+	p := New380nm(0.01, 200, 50)
+	want := units.WavelengthNmToOmegaAU(380)
+	if p.Omega != want {
+		t.Errorf("omega = %g, want %g", p.Omega, want)
+	}
+	// 380 nm photon is ~3.26 eV.
+	ev := p.Omega * units.EVPerHartree
+	if math.Abs(ev-3.263) > 0.01 {
+		t.Errorf("photon energy %g eV, want ~3.26", ev)
+	}
+}
+
+func TestEfieldEnvelope(t *testing.T) {
+	p := New380nm(0.02, 100, 20)
+	// Peak at the envelope center.
+	e0 := p.Efield(100)
+	if math.Abs(e0[2]-0.02) > 1e-12 {
+		t.Errorf("field at center = %v, want peak 0.02 on z", e0)
+	}
+	if e0[0] != 0 || e0[1] != 0 {
+		t.Error("polarization leaked off z")
+	}
+	// Far outside the envelope the field is negligible.
+	far := p.Efield(100 + 20*10)
+	if math.Abs(far[2]) > 1e-12 {
+		t.Errorf("field far outside envelope = %g", far[2])
+	}
+}
+
+func TestAvecDerivativeIsMinusE(t *testing.T) {
+	p := New380nm(0.01, 50, 15)
+	// dA/dt = -E: finite-difference check at several times.
+	for _, tt := range []float64{10, 40, 50, 60, 90} {
+		h := 1e-3
+		ap := p.Avec(tt + h)
+		am := p.Avec(tt - h)
+		dadt := (ap[2] - am[2]) / (2 * h)
+		e := p.Efield(tt)[2]
+		if math.Abs(dadt+e) > 1e-5*(1+math.Abs(e)) {
+			t.Errorf("t=%g: dA/dt = %g, -E = %g", tt, dadt, -e)
+		}
+	}
+}
+
+func TestAvecZeroAtTZero(t *testing.T) {
+	p := New380nm(0.01, 50, 15)
+	if a := p.Avec(0); a[2] != 0 {
+		t.Errorf("A(0) = %g, want 0", a[2])
+	}
+}
+
+func TestNilAndZeroPulse(t *testing.T) {
+	var p *Pulse
+	if a := p.Avec(10); a != ([3]float64{}) {
+		t.Error("nil pulse should produce zero A")
+	}
+	z := &Pulse{}
+	if e := z.Efield(10); e != ([3]float64{}) {
+		t.Error("zero pulse should produce zero E")
+	}
+}
+
+func TestKickField(t *testing.T) {
+	k := &Kick{K: 0.05, Pol: [3]float64{0, 0, 1}}
+	if a := k.A(-1); a != ([3]float64{}) {
+		t.Error("kick before t=0 should be zero")
+	}
+	if a := k.A(5); math.Abs(a[2]-0.05) > 1e-15 {
+		t.Errorf("kick A = %v", a)
+	}
+}
+
+func TestPulseImplementsField(t *testing.T) {
+	var _ Field = (*Pulse)(nil)
+	var _ Field = (*Kick)(nil)
+}

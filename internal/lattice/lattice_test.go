@@ -1,0 +1,133 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"ptdft/internal/units"
+)
+
+func TestSiliconSupercellCounts(t *testing.T) {
+	cases := []struct {
+		nx, ny, nz, atoms int
+	}{
+		{1, 1, 1, 8},
+		{1, 1, 3, 24},
+		{2, 1, 3, 48},   // paper's smallest test system
+		{4, 6, 8, 1536}, // paper's largest
+	}
+	for _, c := range cases {
+		cell, err := SiliconSupercell(c.nx, c.ny, c.nz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cell.NumAtoms(); got != c.atoms {
+			t.Errorf("%dx%dx%d: %d atoms, want %d", c.nx, c.ny, c.nz, got, c.atoms)
+		}
+		if got := cell.NumBands(); got != 2*c.atoms {
+			t.Errorf("%dx%dx%d: %d bands, want %d", c.nx, c.ny, c.nz, got, 2*c.atoms)
+		}
+		if got := cell.NumElectrons(); got != float64(4*c.atoms) {
+			t.Errorf("%dx%dx%d: %g electrons, want %d", c.nx, c.ny, c.nz, got, 4*c.atoms)
+		}
+	}
+}
+
+func TestSiliconLatticeConstant(t *testing.T) {
+	cell := MustSiliconSupercell(1, 1, 1)
+	a := units.SiliconLatticeAngstrom * units.BohrPerAngstrom
+	for d := 0; d < 3; d++ {
+		if math.Abs(cell.L[d]-a) > 1e-12 {
+			t.Errorf("edge %d = %g, want %g (5.43 Angstrom)", d, cell.L[d], a)
+		}
+	}
+	if math.Abs(a-10.2612) > 1e-3 {
+		t.Errorf("5.43 Angstrom = %g bohr, expected ~10.2612", a)
+	}
+}
+
+func TestAtomsInsideCell(t *testing.T) {
+	cell := MustSiliconSupercell(2, 3, 1)
+	for i, at := range cell.Atoms {
+		for d := 0; d < 3; d++ {
+			if at.Pos[d] < 0 || at.Pos[d] >= cell.L[d] {
+				t.Fatalf("atom %d outside cell: %v", i, at.Pos)
+			}
+		}
+	}
+}
+
+func TestAtomsDistinct(t *testing.T) {
+	cell := MustSiliconSupercell(1, 1, 2)
+	seen := map[[3]int]bool{}
+	for _, at := range cell.Atoms {
+		key := [3]int{int(at.Pos[0] * 1e6), int(at.Pos[1] * 1e6), int(at.Pos[2] * 1e6)}
+		if seen[key] {
+			t.Fatalf("duplicate atom at %v", at.Pos)
+		}
+		seen[key] = true
+	}
+}
+
+func TestNearestNeighborDistance(t *testing.T) {
+	// Diamond structure: nearest neighbor at a*sqrt(3)/4 = 2.35 Angstrom.
+	cell := MustSiliconSupercell(1, 1, 1)
+	a := cell.L[0]
+	want := a * math.Sqrt(3) / 4
+	min := math.Inf(1)
+	for i := 0; i < len(cell.Atoms); i++ {
+		for j := i + 1; j < len(cell.Atoms); j++ {
+			var d2 float64
+			for d := 0; d < 3; d++ {
+				dd := cell.Atoms[i].Pos[d] - cell.Atoms[j].Pos[d]
+				dd -= cell.L[d] * math.Round(dd/cell.L[d])
+				d2 += dd * dd
+			}
+			if d := math.Sqrt(d2); d < min {
+				min = d
+			}
+		}
+	}
+	if math.Abs(min-want) > 1e-9 {
+		t.Errorf("nearest neighbor %g, want %g", min, want)
+	}
+}
+
+func TestVolume(t *testing.T) {
+	cell := MustSiliconSupercell(2, 3, 4)
+	a := units.SiliconLatticeAngstrom * units.BohrPerAngstrom
+	want := 24 * a * a * a
+	if math.Abs(cell.Volume()-want) > 1e-6 {
+		t.Errorf("volume %g, want %g", cell.Volume(), want)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cell := MustSiliconSupercell(1, 1, 1)
+	l := cell.L[0]
+	p := cell.Wrap([3]float64{-1, l + 2, 0.5 * l})
+	if p[0] < 0 || p[0] >= l || p[1] < 0 || p[1] >= l {
+		t.Errorf("wrap failed: %v", p)
+	}
+	if math.Abs(p[0]-(l-1)) > 1e-12 || math.Abs(p[1]-2) > 1e-12 {
+		t.Errorf("wrap values wrong: %v", p)
+	}
+}
+
+func TestNewCellRejectsBadEdges(t *testing.T) {
+	if _, err := NewCell(0, 1, 1); err == nil {
+		t.Error("expected error for zero edge")
+	}
+	if _, err := SiliconSupercell(0, 1, 1); err == nil {
+		t.Error("expected error for zero supercell")
+	}
+}
+
+func TestOddElectronBandCount(t *testing.T) {
+	c, _ := NewCell(1, 1, 1)
+	c.Species = []Species{{Symbol: "X", Zval: 3}}
+	c.Atoms = []Atom{{Species: 0}}
+	if c.NumBands() != 2 {
+		t.Errorf("3 electrons need 2 bands, got %d", c.NumBands())
+	}
+}

@@ -1,0 +1,435 @@
+// Package linalg provides the dense complex linear algebra used by the
+// plane-wave code: band overlap matrices (the Psi*H*Psi products of the
+// PT-CN residual), subspace rotations, Cholesky factorization and triangular
+// solves for orthogonalization, a Hermitian Jacobi eigensolver for subspace
+// diagonalization, and small dense solvers for the Anderson mixing least
+// squares problems. It is the CUBLAS/cuSOLVER stand-in of the reproduction.
+//
+// Matrices are stored row-major in flat []complex128 slices with explicit
+// dimensions. Band sets ("wavefunction blocks") are stored band-major:
+// band i occupies elements [i*ng, (i+1)*ng).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ptdft/internal/parallel"
+)
+
+// Overlap computes the na x nb overlap matrix s[i*nb+j] = <a_i | b_j> =
+// sum_g conj(a[i*ng+g]) * b[j*ng+g]. This is the S = Psi^* (H Psi) kernel of
+// Algorithm 3 in the paper. s must have length na*nb.
+func Overlap(s, a, b []complex128, na, nb, ng int) {
+	if len(s) != na*nb || len(a) != na*ng || len(b) != nb*ng {
+		panic(fmt.Sprintf("linalg: Overlap dims mismatch na=%d nb=%d ng=%d", na, nb, ng))
+	}
+	parallel.For(na, func(i int) {
+		ai := a[i*ng : (i+1)*ng]
+		for j := 0; j < nb; j++ {
+			bj := b[j*ng : (j+1)*ng]
+			var re, im float64
+			for g := range ai {
+				x, y := ai[g], bj[g]
+				// conj(x)*y accumulated in parts to stay in registers.
+				re += real(x)*real(y) + imag(x)*imag(y)
+				im += real(x)*imag(y) - imag(x)*real(y)
+			}
+			s[i*nb+j] = complex(re, im)
+		}
+	})
+}
+
+// ApplyMatrix computes the band rotation dst_j = sum_i u[i][j] * src_i,
+// i.e. dst = U^T applied across bands, with u row-major nIn x nOut.
+// This is the Psi <- Psi*S rotation of Algorithm 3 expressed band-major.
+// dst must not alias src.
+func ApplyMatrix(dst, src, u []complex128, nOut, nIn, ng int) {
+	if len(dst) != nOut*ng || len(src) != nIn*ng || len(u) != nIn*nOut {
+		panic(fmt.Sprintf("linalg: ApplyMatrix dims mismatch nOut=%d nIn=%d ng=%d", nOut, nIn, ng))
+	}
+	parallel.For(nOut, func(j int) {
+		dj := dst[j*ng : (j+1)*ng]
+		for g := range dj {
+			dj[g] = 0
+		}
+		for i := 0; i < nIn; i++ {
+			c := u[i*nOut+j]
+			if c == 0 {
+				continue
+			}
+			si := src[i*ng : (i+1)*ng]
+			for g := range dj {
+				dj[g] += c * si[g]
+			}
+		}
+	})
+}
+
+// CholeskyLower factors the Hermitian positive definite n x n matrix a
+// in place into its lower Cholesky factor L (a = L L^H); entries above the
+// diagonal are zeroed. It returns an error if a is not positive definite.
+func CholeskyLower(a []complex128, n int) error {
+	if len(a) != n*n {
+		panic("linalg: CholeskyLower dims mismatch")
+	}
+	for j := 0; j < n; j++ {
+		d := real(a[j*n+j])
+		for k := 0; k < j; k++ {
+			l := a[j*n+k]
+			d -= real(l)*real(l) + imag(l)*imag(l)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		a[j*n+j] = complex(ljj, 0)
+		for i := j + 1; i < n; i++ {
+			v := a[i*n+j]
+			for k := 0; k < j; k++ {
+				v -= a[i*n+k] * cmplx.Conj(a[j*n+k])
+			}
+			a[i*n+j] = v / complex(ljj, 0)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a[i*n+j] = 0
+		}
+	}
+	return nil
+}
+
+// SolveLowerBands overwrites the band set x (n bands x ng) with
+// conj(L)^{-1} x by forward substitution across bands. When L is the lower
+// Cholesky factor of the overlap matrix S[i][j] = <x_i|x_j>, this
+// orthonormalizes the band set: the Gram matrix of band-major rows is
+// conj(S), so the conjugated factor is the one that whitens it. This is the
+// Trsm-based orthogonalization of section 3.4.
+func SolveLowerBands(l, x []complex128, n, ng int) {
+	if len(l) != n*n || len(x) != n*ng {
+		panic("linalg: SolveLowerBands dims mismatch")
+	}
+	// Parallelize over G-space blocks; the band recurrence is sequential.
+	parallel.ForBlock(ng, func(lo, hi int) {
+		for i := 0; i < n; i++ {
+			xi := x[i*ng : (i+1)*ng]
+			for j := 0; j < i; j++ {
+				c := cmplx.Conj(l[i*n+j])
+				if c == 0 {
+					continue
+				}
+				xj := x[j*ng : (j+1)*ng]
+				for g := lo; g < hi; g++ {
+					xi[g] -= c * xj[g]
+				}
+			}
+			inv := 1 / complex(real(l[i*n+i]), 0)
+			for g := lo; g < hi; g++ {
+				xi[g] *= inv
+			}
+		}
+	})
+}
+
+// SolveLinear solves a x = b in place for k right-hand sides using Gaussian
+// elimination with partial pivoting. a is n x n and is destroyed; b is
+// n x k row-major and is overwritten with the solution.
+func SolveLinear(a, b []complex128, n, k int) error {
+	if len(a) != n*n || len(b) != n*k {
+		panic("linalg: SolveLinear dims mismatch")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pmax := col, cmplx.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if m := cmplx.Abs(a[r*n+col]); m > pmax {
+				piv, pmax = r, m
+			}
+		}
+		if pmax == 0 {
+			return errors.New("linalg: singular matrix in SolveLinear")
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				a[col*n+c], a[piv*n+c] = a[piv*n+c], a[col*n+c]
+			}
+			for c := 0; c < k; c++ {
+				b[col*k+c], b[piv*k+c] = b[piv*k+c], b[col*k+c]
+			}
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+			}
+			for c := 0; c < k; c++ {
+				b[r*k+c] -= f * b[col*k+c]
+			}
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		inv := 1 / a[col*n+col]
+		for c := 0; c < k; c++ {
+			v := b[col*k+c]
+			for r := col + 1; r < n; r++ {
+				v -= a[col*n+r] * b[r*k+c]
+			}
+			b[col*k+c] = v * inv
+		}
+	}
+	return nil
+}
+
+// HermEig diagonalizes the Hermitian n x n matrix a (not modified) with the
+// cyclic Jacobi method. It returns eigenvalues in ascending order and the
+// row-major matrix v whose column k (v[i*n+k]) is the unit eigenvector for
+// eigenvalue k. Intended for the small subspace problems of the eigensolver
+// and for analysis; O(n^3) per sweep.
+func HermEig(a []complex128, n int) ([]float64, []complex128, error) {
+	if len(a) != n*n {
+		panic("linalg: HermEig dims mismatch")
+	}
+	w := make([]complex128, n*n)
+	copy(w, a)
+	v := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	var norm float64
+	for i := range w {
+		norm += real(w[i])*real(w[i]) + imag(w[i])*imag(w[i])
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return make([]float64, n), v, nil
+	}
+	tol := 1e-14 * norm
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += cmplx.Abs(w[p*n+q])
+			}
+		}
+		if off < tol {
+			evals, evecs := sortEig(w, v, n)
+			return evals, evecs, nil
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				beta := w[p*n+q]
+				ab := cmplx.Abs(beta)
+				if ab < tol/float64(n*n) {
+					continue
+				}
+				alpha := real(w[p*n+p])
+				gamma := real(w[q*n+q])
+				// Phase of the off-diagonal element.
+				phase := beta / complex(ab, 0)
+				var theta float64
+				if alpha == gamma {
+					theta = math.Pi / 4
+				} else {
+					theta = 0.5 * math.Atan2(2*ab, alpha-gamma)
+				}
+				c := math.Cos(theta)
+				s := complex(math.Sin(theta), 0) * cmplx.Conj(phase)
+				// Columns p,q transform by U = [[c, -conj(s)], [s, c]].
+				for i := 0; i < n; i++ {
+					wip, wiq := w[i*n+p], w[i*n+q]
+					w[i*n+p] = complex(c, 0)*wip + s*wiq
+					w[i*n+q] = -cmplx.Conj(s)*wip + complex(c, 0)*wiq
+				}
+				for i := 0; i < n; i++ {
+					wpi, wqi := w[p*n+i], w[q*n+i]
+					w[p*n+i] = complex(c, 0)*wpi + cmplx.Conj(s)*wqi
+					w[q*n+i] = -s*wpi + complex(c, 0)*wqi
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i*n+p], v[i*n+q]
+					v[i*n+p] = complex(c, 0)*vip + s*viq
+					v[i*n+q] = -cmplx.Conj(s)*vip + complex(c, 0)*viq
+				}
+				// Clean tiny Hermiticity drift on the diagonal.
+				w[p*n+p] = complex(real(w[p*n+p]), 0)
+				w[q*n+q] = complex(real(w[q*n+q]), 0)
+			}
+		}
+	}
+	return nil, nil, errors.New("linalg: Jacobi eigensolver did not converge")
+}
+
+func sortEig(w, v []complex128, n int) ([]float64, []complex128) {
+	evals := make([]float64, n)
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		evals[i] = real(w[i*n+i])
+		order[i] = i
+	}
+	// Insertion sort: n is small.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && evals[order[j]] < evals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sorted := make([]float64, n)
+	vs := make([]complex128, n*n)
+	for k, idx := range order {
+		sorted[k] = evals[idx]
+		for i := 0; i < n; i++ {
+			vs[i*n+k] = v[i*n+idx]
+		}
+	}
+	return sorted, vs
+}
+
+// GenEigChol solves the generalized Hermitian eigenproblem A x = lambda B x
+// with B positive definite, via B = L L^H, Atilde = L^{-1} A L^{-H}.
+// a and b are not modified. Eigenvectors are returned B-orthonormal as
+// columns of the row-major matrix x (x[i*n+k] is component i of vector k).
+func GenEigChol(a, b []complex128, n int) ([]float64, []complex128, error) {
+	if len(a) != n*n || len(b) != n*n {
+		panic("linalg: GenEigChol dims mismatch")
+	}
+	l := make([]complex128, n*n)
+	copy(l, b)
+	if err := CholeskyLower(l, n); err != nil {
+		return nil, nil, err
+	}
+	// at = L^{-1} A L^{-H}: first Y = L^{-1} A (forward substitution on
+	// rows), then at = Y L^{-H} which is (L^{-1} Y^H)^H column-wise.
+	y := make([]complex128, n*n)
+	copy(y, a)
+	forwardSubstRows(l, y, n)
+	// Z = L^{-1} * Y^H, then at = Z^H.
+	z := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			z[i*n+j] = cmplx.Conj(y[j*n+i])
+		}
+	}
+	forwardSubstRows(l, z, n)
+	at := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			at[i*n+j] = cmplx.Conj(z[j*n+i])
+		}
+	}
+	evals, yv, err := HermEig(at, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	// x = L^{-H} y: back substitution on each column.
+	x := backSubstHCols(l, yv, n)
+	return evals, x, nil
+}
+
+// forwardSubstRows overwrites m (n x n row-major) with L^{-1} m.
+func forwardSubstRows(l, m []complex128, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			c := l[i*n+j]
+			if c == 0 {
+				continue
+			}
+			for col := 0; col < n; col++ {
+				m[i*n+col] -= c * m[j*n+col]
+			}
+		}
+		inv := 1 / l[i*n+i]
+		for col := 0; col < n; col++ {
+			m[i*n+col] *= inv
+		}
+	}
+}
+
+// backSubstHCols returns L^{-H} m where m columns are vectors.
+func backSubstHCols(l, m []complex128, n int) []complex128 {
+	x := make([]complex128, n*n)
+	copy(x, m)
+	// Solve L^H x = m: back substitution, row i depends on rows > i.
+	for i := n - 1; i >= 0; i-- {
+		for col := 0; col < n; col++ {
+			v := x[i*n+col]
+			for j := i + 1; j < n; j++ {
+				v -= cmplx.Conj(l[j*n+i]) * x[j*n+col]
+			}
+			x[i*n+col] = v / complex(real(l[i*n+i]), 0)
+		}
+	}
+	return x
+}
+
+// MatMul computes c = a*b for row-major a (m x k) and b (k x n).
+func MatMul(c, a, b []complex128, m, k, n int) {
+	if len(c) != m*n || len(a) != m*k || len(b) != k*n {
+		panic("linalg: MatMul dims mismatch")
+	}
+	parallel.For(m, func(i int) {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			f := a[i*k+p]
+			if f == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := range ci {
+				ci[j] += f * bp[j]
+			}
+		}
+	})
+}
+
+// ConjTranspose returns the conjugate transpose of the row-major m x n
+// matrix a as an n x m matrix.
+func ConjTranspose(a []complex128, m, n int) []complex128 {
+	t := make([]complex128, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t[j*m+i] = cmplx.Conj(a[i*n+j])
+		}
+	}
+	return t
+}
+
+// Dot returns <a|b> = sum conj(a_i) b_i.
+func Dot(a, b []complex128) complex128 {
+	var re, im float64
+	for i := range a {
+		x, y := a[i], b[i]
+		re += real(x)*real(y) + imag(x)*imag(y)
+		im += real(x)*imag(y) - imag(x)*real(y)
+	}
+	return complex(re, im)
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []complex128) float64 {
+	var s float64
+	for _, x := range a {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// AXPY computes y += alpha*x.
+func AXPY(alpha complex128, x, y []complex128) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}

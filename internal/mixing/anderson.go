@@ -1,0 +1,208 @@
+// Package mixing implements Anderson mixing (Anderson 1965, ref [2] of the
+// paper) for the two fixed-point problems of the code: the PT-CN
+// wavefunction equation (Alg. 1 line 7, one mixer per band with history up
+// to 20 - the memory-hungry part that the paper stages through the 512 GB
+// Summit node memory) and the ground-state density SCF.
+package mixing
+
+import (
+	"fmt"
+
+	"ptdft/internal/linalg"
+	"ptdft/internal/parallel"
+)
+
+// Anderson accelerates the fixed-point iteration x -> x + f(x) (f is the
+// residual). After recording m previous (x_k, f_k) pairs it proposes
+//
+//	x_new = sum_k c_k (x_k + beta*f_k),  sum_k c_k = 1,
+//
+// with coefficients minimizing |sum_k c_k f_k|^2, solved through the
+// (m+1) x (m+1) bordered normal equations - the small least squares
+// problem of section 3.4 (at most 20 x 20).
+type Anderson struct {
+	maxHist int
+	beta    float64
+	xs, fs  [][]complex128
+}
+
+// NewAnderson creates a mixer with history depth maxHist (the paper uses
+// 20) and simple-mixing parameter beta.
+func NewAnderson(maxHist int, beta float64) *Anderson {
+	if maxHist < 1 {
+		maxHist = 1
+	}
+	return &Anderson{maxHist: maxHist, beta: beta}
+}
+
+// Reset clears the history (new time step / new SCF problem).
+func (a *Anderson) Reset() {
+	a.xs = a.xs[:0]
+	a.fs = a.fs[:0]
+}
+
+// HistoryLen reports the current history depth.
+func (a *Anderson) HistoryLen() int { return len(a.xs) }
+
+// MemoryBytes reports the history storage, mirroring the paper's accounting
+// of up to 20 wavefunction copies.
+func (a *Anderson) MemoryBytes() int64 {
+	var b int64
+	for i := range a.xs {
+		b += int64(len(a.xs[i])+len(a.fs[i])) * 16
+	}
+	return b
+}
+
+// Mix records the pair (x, f) and returns the next iterate. The returned
+// slice is freshly allocated; x and f are copied into the history.
+func (a *Anderson) Mix(x, f []complex128) []complex128 {
+	if len(x) != len(f) {
+		panic(fmt.Sprintf("mixing: x and f lengths differ: %d vs %d", len(x), len(f)))
+	}
+	xc := append([]complex128(nil), x...)
+	fc := append([]complex128(nil), f...)
+	a.xs = append(a.xs, xc)
+	a.fs = append(a.fs, fc)
+	if len(a.xs) > a.maxHist {
+		a.xs = a.xs[1:]
+		a.fs = a.fs[1:]
+	}
+	m := len(a.xs)
+	out := make([]complex128, len(x))
+	if m == 1 {
+		for i := range out {
+			out[i] = x[i] + complex(a.beta, 0)*f[i]
+		}
+		return out
+	}
+	c := a.coefficients(m)
+	for k := 0; k < m; k++ {
+		ck := c[k]
+		if ck == 0 {
+			continue
+		}
+		xk, fk := a.xs[k], a.fs[k]
+		b := complex(a.beta, 0)
+		for i := range out {
+			out[i] += ck * (xk[i] + b*fk[i])
+		}
+	}
+	return out
+}
+
+// coefficients solves the bordered system
+//
+//	[ A   1 ] [c]   [0]
+//	[ 1^H 0 ] [l] = [1]
+//
+// with A_ij = <f_i|f_j>, regularized for near-degenerate histories.
+func (a *Anderson) coefficients(m int) []complex128 {
+	n := m + 1
+	sys := make([]complex128, n*n)
+	var trace float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			v := linalg.Dot(a.fs[i], a.fs[j])
+			sys[i*n+j] = v
+			if i == j {
+				trace += real(v)
+			}
+		}
+	}
+	// Tikhonov regularization keeps the system solvable when residuals
+	// become linearly dependent near convergence.
+	eps := 1e-12 * (trace/float64(m) + 1e-300)
+	for i := 0; i < m; i++ {
+		sys[i*n+i] += complex(eps, 0)
+	}
+	for i := 0; i < m; i++ {
+		sys[i*n+m] = 1
+		sys[m*n+i] = 1
+	}
+	rhs := make([]complex128, n)
+	rhs[m] = 1
+	if err := linalg.SolveLinear(sys, rhs, n, 1); err != nil {
+		// Degenerate history: fall back to plain mixing on the latest pair.
+		c := make([]complex128, m)
+		c[m-1] = 1
+		return c
+	}
+	return rhs[:m]
+}
+
+// BandMixer runs one Anderson mixer per band, as the paper does for the
+// PT-CN wavefunction fixed point: each band's least squares problem is
+// independent and at most maxHist x maxHist.
+type BandMixer struct {
+	mixers []*Anderson
+	ng     int
+}
+
+// NewBandMixer creates nb independent per-band mixers for bands of length ng.
+func NewBandMixer(nb, ng, maxHist int, beta float64) *BandMixer {
+	bm := &BandMixer{mixers: make([]*Anderson, nb), ng: ng}
+	for i := range bm.mixers {
+		bm.mixers[i] = NewAnderson(maxHist, beta)
+	}
+	return bm
+}
+
+// Mix applies per-band Anderson mixing to the band-major iterate x and
+// residual f, returning the new iterate (band-major). Bands mix in
+// parallel.
+func (bm *BandMixer) Mix(x, f []complex128) []complex128 {
+	nb := len(bm.mixers)
+	if len(x) != nb*bm.ng || len(f) != nb*bm.ng {
+		panic("mixing: BandMixer buffer size mismatch")
+	}
+	out := make([]complex128, len(x))
+	parallel.For(nb, func(i int) {
+		r := bm.mixers[i].Mix(x[i*bm.ng:(i+1)*bm.ng], f[i*bm.ng:(i+1)*bm.ng])
+		copy(out[i*bm.ng:(i+1)*bm.ng], r)
+	})
+	return out
+}
+
+// Reset clears all band histories.
+func (bm *BandMixer) Reset() {
+	for _, m := range bm.mixers {
+		m.Reset()
+	}
+}
+
+// MemoryBytes totals the history storage across bands.
+func (bm *BandMixer) MemoryBytes() int64 {
+	var b int64
+	for _, m := range bm.mixers {
+		b += m.MemoryBytes()
+	}
+	return b
+}
+
+// RealMixer adapts Anderson mixing to real vectors (density SCF).
+type RealMixer struct{ a *Anderson }
+
+// NewRealMixer creates a real-vector Anderson mixer.
+func NewRealMixer(maxHist int, beta float64) *RealMixer {
+	return &RealMixer{a: NewAnderson(maxHist, beta)}
+}
+
+// Mix records (x, f) and returns the next iterate for real vectors.
+func (r *RealMixer) Mix(x, f []float64) []float64 {
+	cx := make([]complex128, len(x))
+	cf := make([]complex128, len(f))
+	for i := range x {
+		cx[i] = complex(x[i], 0)
+		cf[i] = complex(f[i], 0)
+	}
+	res := r.a.Mix(cx, cf)
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = real(res[i])
+	}
+	return out
+}
+
+// Reset clears the history.
+func (r *RealMixer) Reset() { r.a.Reset() }

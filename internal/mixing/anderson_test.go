@@ -1,0 +1,229 @@
+package mixing
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptdft/internal/linalg"
+)
+
+// linearFixedPoint builds the residual f(x) = b - A x for a well-conditioned
+// SPD-like complex system; the fixed point solves A x = b.
+func linearFixedPoint(n int, seed int64) (apply func(x []complex128) []complex128, solution []complex128) {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = complex(1.5+rng.Float64(), 0)
+		for j := i + 1; j < n; j++ {
+			v := complex(0.3*rng.NormFloat64(), 0.3*rng.NormFloat64()) / complex(float64(n), 0)
+			a[i*n+j] = v
+			a[j*n+i] = cmplx.Conj(v)
+		}
+	}
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b := make([]complex128, n)
+	linalg.MatMul(b, a, x, n, n, 1)
+	apply = func(xx []complex128) []complex128 {
+		ax := make([]complex128, n)
+		linalg.MatMul(ax, a, xx, n, n, 1)
+		f := make([]complex128, n)
+		for i := range f {
+			f[i] = b[i] - ax[i]
+		}
+		return f
+	}
+	return apply, x
+}
+
+func resNorm(f []complex128) float64 {
+	var s float64
+	for _, v := range f {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+func TestAndersonSolvesLinearSystem(t *testing.T) {
+	n := 20
+	residual, want := linearFixedPoint(n, 3)
+	a := NewAnderson(10, 0.5)
+	x := make([]complex128, n)
+	var final float64
+	for it := 0; it < 60; it++ {
+		f := residual(x)
+		final = resNorm(f)
+		if final < 1e-10 {
+			break
+		}
+		x = a.Mix(x, f)
+	}
+	if final > 1e-8 {
+		t.Fatalf("Anderson did not converge: residual %g", final)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("solution wrong at %d", i)
+		}
+	}
+}
+
+func TestAndersonBeatsSimpleMixing(t *testing.T) {
+	n := 30
+	residual, _ := linearFixedPoint(n, 5)
+	iterate := func(useAnderson bool) int {
+		a := NewAnderson(12, 0.4)
+		x := make([]complex128, n)
+		for it := 0; it < 200; it++ {
+			f := residual(x)
+			if resNorm(f) < 1e-9 {
+				return it
+			}
+			if useAnderson {
+				x = a.Mix(x, f)
+			} else {
+				for i := range x {
+					x[i] += complex(0.4, 0) * f[i]
+				}
+			}
+		}
+		return 200
+	}
+	and := iterate(true)
+	simple := iterate(false)
+	if and >= simple {
+		t.Errorf("Anderson (%d iters) not faster than simple mixing (%d)", and, simple)
+	}
+}
+
+func TestAndersonHistoryCap(t *testing.T) {
+	a := NewAnderson(3, 0.5)
+	x := make([]complex128, 4)
+	f := make([]complex128, 4)
+	for i := 0; i < 10; i++ {
+		f[0] = complex(float64(i+1), 0)
+		x = a.Mix(x, f)
+		if a.HistoryLen() > 3 {
+			t.Fatalf("history grew to %d beyond cap 3", a.HistoryLen())
+		}
+	}
+	if a.HistoryLen() != 3 {
+		t.Errorf("history %d, want 3", a.HistoryLen())
+	}
+	a.Reset()
+	if a.HistoryLen() != 0 {
+		t.Error("Reset did not clear history")
+	}
+	if a.MemoryBytes() != 0 {
+		t.Error("MemoryBytes nonzero after reset")
+	}
+}
+
+func TestAndersonFirstStepIsSimpleMixing(t *testing.T) {
+	a := NewAnderson(5, 0.7)
+	x := []complex128{1, 2}
+	f := []complex128{complex(0.5, 0), complex(-0.5, 0)}
+	got := a.Mix(x, f)
+	want := []complex128{complex(1.35, 0), complex(1.65, 0)}
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > 1e-14 {
+			t.Fatalf("first step = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAndersonCoefficientsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := NewAnderson(6, 0.5)
+		n := 8
+		x := make([]complex128, n)
+		for step := 0; step < 5; step++ {
+			fv := make([]complex128, n)
+			for i := range fv {
+				fv[i] = complex(local.NormFloat64(), local.NormFloat64())
+			}
+			x = a.Mix(x, fv)
+		}
+		c := a.coefficients(a.HistoryLen())
+		var sum complex128
+		for _, v := range c {
+			sum += v
+		}
+		return cmplx.Abs(sum-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandMixerIndependence(t *testing.T) {
+	// Two bands with different linear problems must each converge.
+	ng := 10
+	res0, want0 := linearFixedPoint(ng, 11)
+	res1, want1 := linearFixedPoint(ng, 12)
+	bm := NewBandMixer(2, ng, 10, 0.5)
+	x := make([]complex128, 2*ng)
+	for it := 0; it < 80; it++ {
+		f := make([]complex128, 2*ng)
+		copy(f[:ng], res0(x[:ng]))
+		copy(f[ng:], res1(x[ng:]))
+		if resNorm(f) < 1e-10 {
+			break
+		}
+		x = bm.Mix(x, f)
+	}
+	for i := 0; i < ng; i++ {
+		if cmplx.Abs(x[i]-want0[i]) > 1e-6 || cmplx.Abs(x[ng+i]-want1[i]) > 1e-6 {
+			t.Fatal("band mixer failed to converge both bands")
+		}
+	}
+	if bm.MemoryBytes() <= 0 {
+		t.Error("BandMixer memory accounting zero")
+	}
+	bm.Reset()
+	if bm.MemoryBytes() != 0 {
+		t.Error("BandMixer memory nonzero after reset")
+	}
+}
+
+func TestRealMixerDensityStyle(t *testing.T) {
+	// Fixed point: x = 0.3 + 0.5*x (solution 0.6), elementwise.
+	rm := NewRealMixer(5, 0.5)
+	x := make([]float64, 6)
+	for it := 0; it < 50; it++ {
+		f := make([]float64, 6)
+		for i := range f {
+			f[i] = 0.3 + 0.5*x[i] - x[i]
+		}
+		x = rm.Mix(x, f)
+	}
+	for i := range x {
+		if math.Abs(x[i]-0.6) > 1e-8 {
+			t.Fatalf("real mixer fixed point %g, want 0.6", x[i])
+		}
+	}
+}
+
+func TestMemoryAccountingTwentyCopies(t *testing.T) {
+	// The paper stores up to 20 wavefunction copies for Anderson mixing.
+	ng := 100
+	a := NewAnderson(20, 0.5)
+	x := make([]complex128, ng)
+	f := make([]complex128, ng)
+	for i := 0; i < 25; i++ {
+		f[0] = complex(float64(i+1), 0) // keep residuals distinct
+		x = a.Mix(x, f)
+	}
+	// 20 history slots, each storing x and f: 20 * 2 * ng * 16 bytes.
+	want := int64(20 * 2 * ng * 16)
+	if a.MemoryBytes() != want {
+		t.Errorf("memory = %d, want %d", a.MemoryBytes(), want)
+	}
+}

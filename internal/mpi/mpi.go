@@ -1,0 +1,464 @@
+// Package mpi is a message-passing runtime over goroutines that stands in
+// for IBM Spectrum MPI in the reproduction: ranks execute SPMD functions on
+// their own goroutines and communicate through tag-matched mailboxes. It
+// provides the collectives the paper's implementation is built from -
+// MPI_Bcast (binomial tree), MPI_Allreduce, MPI_Alltoallv, MPI_Allgatherv,
+// and point-to-point Send/Recv for the round-robin exchange variant - and
+// it meters bytes and calls per collective class so the communication
+// volumes of Table 2 can be measured from the functional code rather than
+// estimated.
+//
+// Tags make concurrent collectives safe: the overlapped broadcast pipeline
+// of the Fock operator (section 3.2, optimization 5) posts the broadcast of
+// band i+1 while band i is being processed, exactly as the paper overlaps
+// MPI_Bcast with GPU computation. A Comm handle may be used from multiple
+// goroutines of its rank as long as concurrent receives use distinct tags.
+//
+// Tag namespace: each (src, dst, tag) triple identifies a message stream;
+// AllreduceSum internally consumes tag and tag+1.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Elem constrains the payload element types the runtime ships.
+type Elem interface {
+	~complex128 | ~complex64 | ~float64 | ~float32 | ~int64 | ~int32
+}
+
+// OpClass labels collective classes for the byte accounting of Table 2.
+type OpClass int
+
+// Collective classes.
+const (
+	ClassP2P OpClass = iota
+	ClassBcast
+	ClassAllreduce
+	ClassAlltoallv
+	ClassAllgatherv
+	numClasses
+)
+
+// NumClasses reports how many collective classes are metered.
+const NumClasses = int(numClasses)
+
+// String names the class as the paper's tables do.
+func (c OpClass) String() string {
+	switch c {
+	case ClassP2P:
+		return "Send/Recv"
+	case ClassBcast:
+		return "MPI_Bcast"
+	case ClassAllreduce:
+		return "MPI_Allreduce"
+	case ClassAlltoallv:
+		return "MPI_Alltoallv"
+	case ClassAllgatherv:
+		return "MPI_AllGatherv"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats aggregates communication volume per class across all ranks.
+type Stats struct {
+	Bytes [numClasses]int64
+	Calls [numClasses]int64
+}
+
+// TotalBytes sums all classes.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.Bytes {
+		t += b
+	}
+	return t
+}
+
+// BytesFor returns the byte count of one class.
+func (s *Stats) BytesFor(c OpClass) int64 { return s.Bytes[c] }
+
+// CallsFor returns the call count of one class.
+func (s *Stats) CallsFor(c OpClass) int64 { return s.Calls[c] }
+
+// pairBox is the mailbox for one (src, dst) rank pair: a tag-indexed FIFO
+// store guarded by a condition variable, safe for concurrent senders and
+// receivers.
+type pairBox struct {
+	mu   sync.Mutex
+	cv   *sync.Cond
+	msgs map[int][]any
+}
+
+func newPairBox() *pairBox {
+	b := &pairBox{msgs: map[int][]any{}}
+	b.cv = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pairBox) put(tag int, data any) {
+	b.mu.Lock()
+	b.msgs[tag] = append(b.msgs[tag], data)
+	b.cv.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *pairBox) take(tag int) any {
+	b.mu.Lock()
+	for len(b.msgs[tag]) == 0 {
+		b.cv.Wait()
+	}
+	q := b.msgs[tag]
+	data := q[0]
+	if len(q) == 1 {
+		delete(b.msgs, tag)
+	} else {
+		b.msgs[tag] = q[1:]
+	}
+	b.mu.Unlock()
+	return data
+}
+
+// world is the shared state of one communicator group.
+type world struct {
+	size  int
+	boxes [][]*pairBox // boxes[src][dst]
+	bytes [numClasses]atomic.Int64
+	calls [numClasses]atomic.Int64
+
+	barrierMu  sync.Mutex
+	barrierN   int
+	barrierGen int
+	barrierCv  *sync.Cond
+
+	// Sub-communicator registry for Split.
+	splitMu sync.Mutex
+	splits  map[int64]*world
+}
+
+// Comm is one rank's handle on the communicator. It is safe for concurrent
+// use by multiple goroutines of that rank (distinct tags per concurrent
+// receive stream).
+type Comm struct {
+	rank int
+	w    *world
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// CloneHandle returns an equivalent handle; retained for API compatibility
+// with thread-multiple MPI usage (handles share all state).
+func (c *Comm) CloneHandle() *Comm { return &Comm{rank: c.rank, w: c.w} }
+
+// Run executes f on size ranks (one goroutine each) and returns the
+// accumulated communication statistics. It panics if any rank panics,
+// re-raising the first failure.
+func Run(size int, f func(c *Comm)) *Stats {
+	if size < 1 {
+		panic("mpi: communicator size must be >= 1")
+	}
+	w := newWorld(size)
+	var wg sync.WaitGroup
+	panics := make([]any, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			f(&Comm{rank: rank, w: w})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+	st := &Stats{}
+	for i := 0; i < int(numClasses); i++ {
+		st.Bytes[i] = w.bytes[i].Load()
+		st.Calls[i] = w.calls[i].Load()
+	}
+	return st
+}
+
+func elemSize[T Elem]() int64 {
+	var z T
+	switch any(z).(type) {
+	case complex128:
+		return 16
+	case complex64, float64, int64:
+		return 8
+	case float32, int32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func (c *Comm) account(class OpClass, bytes int64) {
+	c.w.bytes[class].Add(bytes)
+	c.w.calls[class].Add(1)
+}
+
+// deliver copies data into the destination mailbox with accounting.
+func deliver[T Elem](c *Comm, to, tag int, data []T, class OpClass) {
+	out := make([]T, len(data))
+	copy(out, data)
+	c.account(class, int64(len(data))*elemSize[T]())
+	c.w.boxes[c.rank][to].put(tag, out)
+}
+
+// Send ships a copy of data to rank `to` with a matching tag.
+func Send[T Elem](c *Comm, to, tag int, data []T) {
+	if to == c.rank {
+		panic("mpi: self-send")
+	}
+	deliver(c, to, tag, data, ClassP2P)
+}
+
+// Recv receives a []T from rank `from` with the given tag, blocking until
+// a matching message arrives.
+func Recv[T Elem](c *Comm, from, tag int) []T {
+	return c.w.boxes[from][c.rank].take(tag).([]T)
+}
+
+// Barrier blocks until every rank has entered it. Reusable.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierN++
+	if w.barrierN == w.size {
+		w.barrierN = 0
+		w.barrierGen++
+		w.barrierCv.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierCv.Wait()
+		}
+	}
+	w.barrierMu.Unlock()
+}
+
+// Bcast broadcasts root's data to all ranks over a binomial tree (the
+// paper's strategy for the Fock exchange wavefunction distribution, which
+// "takes advantage of the fat-tree interconnect topology"). Non-root ranks
+// pass a buffer of the same length that is overwritten.
+func Bcast[T Elem](c *Comm, root, tag int, data []T) {
+	bcastTree(c, root, tag, data, ClassBcast)
+}
+
+// bcastTree is the textbook binomial broadcast on relative ranks.
+func bcastTree[T Elem](c *Comm, root, tag int, data []T, class OpClass) {
+	size := c.w.size
+	if size == 1 {
+		return
+	}
+	rel := (c.rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := (c.rank - mask + size) % size
+			in := Recv[T](c, src, tag)
+			copy(data, in)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < size {
+			dst := (c.rank + mask) % size
+			deliver(c, dst, tag, data, class)
+		}
+	}
+}
+
+// AllreduceSum sums data element-wise across ranks, reducing in rank order
+// for determinism, leaving the result on every rank (used for the overlap
+// matrix and the charge density; sections 3.3/3.4). Consumes tags tag and
+// tag+1.
+func AllreduceSum[T Elem](c *Comm, tag int, data []T) {
+	size := c.w.size
+	if size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < size; r++ {
+			in := Recv[T](c, r, tag)
+			for i := range data {
+				data[i] += in[i]
+			}
+		}
+	} else {
+		deliver(c, 0, tag, data, ClassAllreduce)
+	}
+	bcastTree(c, 0, tag+1, data, ClassAllreduce)
+}
+
+// Alltoallv performs a personalized all-to-all: send[d] goes to rank d;
+// the returned slice holds what each rank sent to us (recv[s] from rank s).
+// This is the layout transpose between band-index and G-space
+// parallelization (Fig. 1).
+func Alltoallv[T Elem](c *Comm, tag int, send [][]T) [][]T {
+	size := c.w.size
+	if len(send) != size {
+		panic("mpi: Alltoallv needs one slice per rank")
+	}
+	recv := make([][]T, size)
+	recv[c.rank] = send[c.rank]
+	for off := 1; off < size; off++ {
+		dst := (c.rank + off) % size
+		deliver(c, dst, tag, send[dst], ClassAlltoallv)
+	}
+	for off := 1; off < size; off++ {
+		src := (c.rank - off + size) % size
+		recv[src] = Recv[T](c, src, tag)
+	}
+	return recv
+}
+
+// Allgatherv gathers each rank's (possibly differently sized) data onto
+// every rank, returned indexed by source rank. Used for the
+// exchange-correlation potential assembly (section 3.4).
+func Allgatherv[T Elem](c *Comm, tag int, data []T) [][]T {
+	size := c.w.size
+	out := make([][]T, size)
+	own := make([]T, len(data))
+	copy(own, data)
+	out[c.rank] = own
+	for off := 1; off < size; off++ {
+		dst := (c.rank + off) % size
+		deliver(c, dst, tag, data, ClassAllgatherv)
+	}
+	for off := 1; off < size; off++ {
+		src := (c.rank - off + size) % size
+		out[src] = Recv[T](c, src, tag)
+	}
+	return out
+}
+
+// newWorld allocates the shared state for a communicator of the given size.
+func newWorld(size int) *world {
+	w := &world{size: size, splits: map[int64]*world{}}
+	w.barrierCv = sync.NewCond(&w.barrierMu)
+	w.boxes = make([][]*pairBox, size)
+	for s := 0; s < size; s++ {
+		w.boxes[s] = make([]*pairBox, size)
+		for d := 0; d < size; d++ {
+			w.boxes[s][d] = newPairBox()
+		}
+	}
+	return w
+}
+
+// Split partitions the communicator into sub-communicators by color, the
+// MPI_Comm_split analogue used for the k-point parallelization layer the
+// paper describes in section 3.1 ("wavefunctions can naturally be grouped
+// according to the k-points, which adds an additional layer of
+// parallelization"). All ranks must call Split collectively with the same
+// tag; ranks sharing a color receive a new Comm ordered by (key, rank).
+// Each sub-communicator has independent byte accounting that is NOT folded
+// into the parent's Run statistics; use SubStats to retrieve it.
+func (c *Comm) Split(tag int, color int64, key int) *Comm {
+	// Gather (color, key) from every rank.
+	mine := []int64{color, int64(key), int64(c.rank)}
+	all := Allgatherv(c, tag, mine)
+
+	// Build my group sorted by (key, parent rank).
+	type member struct {
+		key        int64
+		parentRank int
+	}
+	var group []member
+	for r := 0; r < c.w.size; r++ {
+		if all[r][0] == color {
+			group = append(group, member{key: all[r][1], parentRank: int(all[r][2])})
+		}
+	}
+	for i := 1; i < len(group); i++ {
+		for j := i; j > 0; j-- {
+			a, b := group[j], group[j-1]
+			if a.key < b.key || (a.key == b.key && a.parentRank < b.parentRank) {
+				group[j], group[j-1] = group[j-1], group[j]
+			} else {
+				break
+			}
+		}
+	}
+	myRank := -1
+	for i, m := range group {
+		if m.parentRank == c.rank {
+			myRank = i
+		}
+	}
+
+	// All ranks of a color share one child world through the registry;
+	// the last arriver retires the key so a later Split with the same
+	// color builds a fresh world. The parent barrier below makes the
+	// registry phase collective, so successive Splits cannot interleave.
+	c.w.splitMu.Lock()
+	child, ok := c.w.splits[color]
+	if !ok {
+		child = newWorld(len(group))
+		c.w.splits[color] = child
+	}
+	child.barrierMu.Lock()
+	child.barrierN++
+	full := child.barrierN == child.size
+	if full {
+		child.barrierN = 0
+	}
+	child.barrierMu.Unlock()
+	if full {
+		delete(c.w.splits, color)
+	}
+	c.w.splitMu.Unlock()
+	c.Barrier()
+
+	return &Comm{rank: myRank, w: child}
+}
+
+// SubStats snapshots the communication statistics of a sub-communicator
+// created by Split.
+func (c *Comm) SubStats() *Stats {
+	st := &Stats{}
+	for i := 0; i < int(numClasses); i++ {
+		st.Bytes[i] = c.w.bytes[i].Load()
+		st.Calls[i] = c.w.calls[i].Load()
+	}
+	return st
+}
+
+// SingleOf converts a double-precision complex payload to single precision
+// for transfer, halving the communication volume (section 3.2,
+// optimization 4: "single precision MPI").
+func SingleOf(data []complex128) []complex64 {
+	out := make([]complex64, len(data))
+	for i, v := range data {
+		out[i] = complex64(v)
+	}
+	return out
+}
+
+// DoubleOf converts a received single-precision payload back for
+// computation ("wavefunctions are converted back to the double precision
+// format for computation").
+func DoubleOf(data []complex64) []complex128 {
+	out := make([]complex128, len(data))
+	for i, v := range data {
+		out[i] = complex128(v)
+	}
+	return out
+}

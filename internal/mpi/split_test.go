@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitBasic(t *testing.T) {
+	// 6 ranks into 2 colors of 3.
+	Run(6, func(c *Comm) {
+		color := int64(c.Rank() % 2)
+		sub := c.Split(1000, color, c.Rank())
+		if sub.Size() != 3 {
+			t.Errorf("rank %d: sub size %d, want 3", c.Rank(), sub.Size())
+		}
+		// Ordered by key = parent rank: parent ranks 0,2,4 map to sub
+		// ranks 0,1,2 for color 0; 1,3,5 likewise for color 1.
+		want := c.Rank() / 2
+		if sub.Rank() != want {
+			t.Errorf("parent %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		// Collectives work within the sub-communicator and stay isolated.
+		data := []float64{float64(c.Rank())}
+		AllreduceSum(sub, 1, data)
+		var wantSum float64
+		for r := int(color); r < 6; r += 2 {
+			wantSum += float64(r)
+		}
+		if data[0] != wantSum {
+			t.Errorf("rank %d: sub allreduce %g, want %g", c.Rank(), data[0], wantSum)
+		}
+	})
+}
+
+func TestSplitSingletonColors(t *testing.T) {
+	Run(4, func(c *Comm) {
+		sub := c.Split(1, int64(c.Rank()), 0) // every rank its own color
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			t.Errorf("rank %d: singleton sub %d/%d", c.Rank(), sub.Rank(), sub.Size())
+		}
+		// Size-1 collectives are no-ops but must not hang.
+		data := []float64{1}
+		AllreduceSum(sub, 2, data)
+		Bcast(sub, 0, 3, data)
+	})
+}
+
+func TestSplitKeyOverridesOrder(t *testing.T) {
+	Run(4, func(c *Comm) {
+		// Reverse ordering via descending keys.
+		sub := c.Split(7, 0, -c.Rank())
+		if want := 3 - c.Rank(); sub.Rank() != want {
+			t.Errorf("parent %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+	})
+}
+
+func TestSplitSuccessiveSameColor(t *testing.T) {
+	// Two consecutive Splits with identical colors must produce fresh,
+	// independent communicators (registry retirement + barrier).
+	Run(4, func(c *Comm) {
+		a := c.Split(10, int64(c.Rank()%2), 0)
+		b := c.Split(20, int64(c.Rank()%2), 0)
+		if a.w == b.w {
+			t.Error("successive splits shared a world")
+		}
+		// Both remain usable.
+		da := []int64{1}
+		db := []int64{2}
+		AllreduceSum(a, 1, da)
+		AllreduceSum(b, 1, db)
+		if da[0] != 2 || db[0] != 4 {
+			t.Errorf("sub collectives wrong: %d %d", da[0], db[0])
+		}
+	})
+}
+
+func TestSplitSubStatsIsolated(t *testing.T) {
+	var subBytes atomic.Int64
+	parent := Run(4, func(c *Comm) {
+		sub := c.Split(5, int64(c.Rank()/2), c.Rank())
+		data := make([]complex128, 100)
+		Bcast(sub, 0, 1, data)
+		if sub.Rank() == 0 {
+			subBytes.Add(sub.SubStats().BytesFor(ClassBcast))
+		}
+	})
+	// Each 2-rank sub-bcast ships 100 x 16 bytes once; two groups.
+	if got := subBytes.Load(); got != 2*100*16 {
+		t.Errorf("sub bcast bytes %d, want %d", got, 2*100*16)
+	}
+	// The parent saw only the Split's own Allgatherv, no Bcast.
+	if parent.BytesFor(ClassBcast) != 0 {
+		t.Errorf("parent accounted sub-communicator traffic: %d", parent.BytesFor(ClassBcast))
+	}
+}
+
+func TestSplitStress(t *testing.T) {
+	// Repeated splits with rotating colors; checks for registry leaks,
+	// deadlocks, and rank-mapping errors.
+	Run(8, func(c *Comm) {
+		for round := 0; round < 10; round++ {
+			color := int64((c.Rank() + round) % 3)
+			sub := c.Split(100+round, color, c.Rank())
+			data := []int64{int64(sub.Rank())}
+			AllreduceSum(sub, 1, data)
+			// sum 0..size-1
+			want := int64(sub.Size() * (sub.Size() - 1) / 2)
+			if data[0] != want {
+				t.Errorf("round %d color %d: sum %d, want %d", round, color, data[0], want)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		For(n, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("index %d visited twice", i)
+			}
+			hits.Add(1)
+		})
+		if int(hits.Load()) != n {
+			t.Errorf("n=%d: %d iterations executed", n, hits.Load())
+		}
+	}
+}
+
+func TestForBlockPartitions(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 1001} {
+		covered := make([]atomic.Int32, n)
+		ForBlock(n, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("empty block [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, covered[i].Load())
+			}
+		}
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	orig := MaxWorkers()
+	defer SetMaxWorkers(orig)
+	prev := SetMaxWorkers(1)
+	if prev != orig {
+		t.Errorf("SetMaxWorkers returned %d, want %d", prev, orig)
+	}
+	if MaxWorkers() != 1 {
+		t.Error("worker bound not applied")
+	}
+	// Serial path still covers everything.
+	var count atomic.Int64
+	For(50, func(int) { count.Add(1) })
+	if count.Load() != 50 {
+		t.Error("serial For incomplete")
+	}
+	SetMaxWorkers(0) // resets to GOMAXPROCS
+	if MaxWorkers() < 1 {
+		t.Error("reset failed")
+	}
+}
+
+func TestForConcurrentResultsDeterministic(t *testing.T) {
+	// Work writing to disjoint slots must produce identical results
+	// regardless of scheduling.
+	n := 500
+	a := make([]int, n)
+	b := make([]int, n)
+	For(n, func(i int) { a[i] = i * i })
+	For(n, func(i int) { b[i] = i * i })
+	for i := range a {
+		if a[i] != b[i] || a[i] != i*i {
+			t.Fatalf("nondeterministic or wrong result at %d", i)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package scf
+
+import (
+	"math"
+	"testing"
+
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/lattice"
+	"ptdft/internal/linalg"
+	"ptdft/internal/potential"
+	"ptdft/internal/pseudo"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+func siSetup(ecut float64, hybrid bool) (*grid.Grid, *hamiltonian.Hamiltonian) {
+	g := grid.MustNew(lattice.MustSiliconSupercell(1, 1, 1), ecut)
+	h := hamiltonian.New(g, map[int]*pseudo.Potential{0: pseudo.SiliconAH()},
+		hamiltonian.Config{Hybrid: hybrid, Params: xc.HSE06()})
+	return g, h
+}
+
+func TestGroundStateConvergesLDA(t *testing.T) {
+	g, h := siSetup(3, false)
+	nb := g.Cell.NumBands() // 16 for Si8
+	opt := Defaults()
+	opt.TolDensity = 1e-6
+	res, err := GroundState(g, h, nb, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("SCF did not converge: density error %g after %d iterations", res.DensityError, res.SCFIterations)
+	}
+	if e := wavefunc.OrthonormalityError(res.Psi, nb, g.NG); e > 1e-8 {
+		t.Errorf("ground state not orthonormal: %g", e)
+	}
+	if n := potential.IntegrateDensity(g, res.Rho); math.Abs(n-32) > 1e-6 {
+		t.Errorf("density integrates to %g, want 32", n)
+	}
+	if res.Energy.Total() >= 0 {
+		t.Errorf("total energy %g, want negative (bound crystal)", res.Energy.Total())
+	}
+}
+
+func TestGroundStateEigenResiduals(t *testing.T) {
+	g, h := siSetup(3, false)
+	nb := g.Cell.NumBands()
+	res, err := GroundState(g, h, nb, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := g.NG
+	hp := make([]complex128, nb*ng)
+	h.Apply(hp, res.Psi, nb)
+	for j := 0; j < nb; j++ {
+		p := res.Psi[j*ng : (j+1)*ng]
+		hpj := hp[j*ng : (j+1)*ng]
+		theta := real(linalg.Dot(p, hpj))
+		var rn float64
+		for s := 0; s < ng; s++ {
+			d := hpj[s] - complex(theta, 0)*p[s]
+			rn += real(d)*real(d) + imag(d)*imag(d)
+		}
+		rn = math.Sqrt(rn)
+		if rn > 5e-2 {
+			t.Errorf("band %d eigen-residual %g too large", j, rn)
+		}
+	}
+}
+
+func TestGroundStateBandEnergiesOrderedAfterSort(t *testing.T) {
+	g, h := siSetup(3, false)
+	nb := g.Cell.NumBands()
+	res, err := GroundState(g, h, nb, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Ritz values should come out (weakly) ascending.
+	for j := 1; j < nb; j++ {
+		if res.BandEnergies[j] < res.BandEnergies[j-1]-1e-6 {
+			t.Errorf("band energies not ascending at %d: %g < %g", j, res.BandEnergies[j], res.BandEnergies[j-1])
+		}
+	}
+	_ = g
+}
+
+func TestGroundStateHybridConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid ground state is slow")
+	}
+	g, h := siSetup(3, true)
+	nb := g.Cell.NumBands()
+	opt := Defaults()
+	opt.MaxSCF = 40
+	opt.HybridOuter = 3
+	opt.TolDensity = 1e-6
+	res, err := GroundState(g, h, nb, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("hybrid SCF did not converge: density error %g", res.DensityError)
+	}
+	if res.Energy.Exchange >= 0 {
+		t.Errorf("exchange energy %g, want negative", res.Energy.Exchange)
+	}
+}
+
+func TestGapComputation(t *testing.T) {
+	bands := []float64{-0.5, -0.4, -0.1, 0.2}
+	gap, err := Gap(bands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap-0.3) > 1e-12 {
+		t.Errorf("gap = %g, want 0.3", gap)
+	}
+	if _, err := Gap(bands, 4); err == nil {
+		t.Error("expected error when all bands occupied")
+	}
+	if _, err := Gap(bands, 0); err == nil {
+		t.Error("expected error for zero occupation")
+	}
+}
+
+func TestTeterPreconditioner(t *testing.T) {
+	// ~1 at x=0, decaying beyond; monotone in between.
+	if math.Abs(teter(0)-1) > 1e-12 {
+		t.Errorf("teter(0) = %g, want 1", teter(0))
+	}
+	if teter(10) > 0.1 {
+		t.Errorf("teter(10) = %g, want small", teter(10))
+	}
+	prev := teter(0)
+	for x := 0.1; x < 20; x += 0.1 {
+		v := teter(x)
+		if v > prev+1e-12 {
+			t.Fatalf("teter not monotone at %g", x)
+		}
+		prev = v
+	}
+}
+
+func TestGroundStateRejectsZeroBands(t *testing.T) {
+	g, h := siSetup(3, false)
+	if _, err := GroundState(g, h, 0, Defaults()); err == nil {
+		t.Error("expected error for nb=0")
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndRegion(t *testing.T) {
+	p := New()
+	p.Add("fock", 1.5)
+	p.Add("fock", 0.5)
+	p.Add("density", 0.25)
+	r := p.Region("fock")
+	if r.Seconds != 2.0 || r.Calls != 2 {
+		t.Errorf("fock region %+v", r)
+	}
+	if p.Total() != 2.25 {
+		t.Errorf("total %g, want 2.25", p.Total())
+	}
+	if p.Region("missing").Seconds != 0 {
+		t.Error("missing region should be zero")
+	}
+}
+
+func TestTimeAndTimer(t *testing.T) {
+	p := New()
+	p.Time("sleep", func() { time.Sleep(5 * time.Millisecond) })
+	if p.Region("sleep").Seconds < 0.004 {
+		t.Errorf("timed region too short: %g", p.Region("sleep").Seconds)
+	}
+	stop := p.Timer("lap")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if p.Region("lap").Calls != 1 {
+		t.Error("timer did not record")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	p := New()
+	p.AddFLOP("fft", 1000)
+	p.AddFLOP("fft", 500)
+	p.AddBytes("fft", 4096)
+	r := p.Region("fft")
+	if r.FLOP != 1500 || r.Bytes != 4096 {
+		t.Errorf("counters %+v", r)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	p := New()
+	p.Add("small", 1)
+	p.Add("big", 10)
+	p.Add("mid", 5)
+	s := p.Snapshot()
+	if len(s) != 3 || s[0].Name != "big" || s[2].Name != "small" {
+		t.Errorf("snapshot order wrong: %+v", s)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := New()
+	p.Add("phase", 2)
+	var sb strings.Builder
+	p.Report(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "phase") || !strings.Contains(out, "100.0%") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Add("hot", 0.001)
+				p.AddFLOP("hot", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	r := p.Region("hot")
+	if r.Calls != 1600 || r.FLOP != 1600 {
+		t.Errorf("concurrent accounting lost updates: %+v", r)
+	}
+}

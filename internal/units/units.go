@@ -1,0 +1,42 @@
+// Package units collects the physical constants and unit conversions used
+// throughout the code. Everything internal is in Hartree atomic units
+// (hbar = m_e = e = 1); these constants convert at the boundaries.
+package units
+
+const (
+	// BohrPerAngstrom converts lengths from Angstrom to Bohr.
+	BohrPerAngstrom = 1.8897259886
+
+	// AttosecondPerAU is the atomic unit of time in attoseconds:
+	// 1 au = 24.18884 as, so the paper's 50 as step is ~2.067 au.
+	AttosecondPerAU = 24.188843265857
+
+	// FemtosecondPerAU is the atomic unit of time in femtoseconds.
+	FemtosecondPerAU = AttosecondPerAU / 1000
+
+	// EVPerHartree converts energies from Hartree to electron volts.
+	EVPerHartree = 27.211386245988
+
+	// NmPerBohr converts lengths from Bohr to nanometers.
+	NmPerBohr = 0.0529177210903
+
+	// SpeedOfLightAU is c in atomic units (1/alpha).
+	SpeedOfLightAU = 137.035999084
+
+	// SiliconLatticeAngstrom is the conventional diamond-cubic lattice
+	// constant of silicon used in the paper's test systems (section 4).
+	SiliconLatticeAngstrom = 5.43
+)
+
+// AttosecondsToAU converts a time in attoseconds to atomic units.
+func AttosecondsToAU(as float64) float64 { return as / AttosecondPerAU }
+
+// AUToAttoseconds converts a time in atomic units to attoseconds.
+func AUToAttoseconds(au float64) float64 { return au * AttosecondPerAU }
+
+// WavelengthNmToOmegaAU converts a laser wavelength in nm to the photon
+// angular frequency in Hartree atomic units: omega = 2*pi*c/lambda.
+func WavelengthNmToOmegaAU(nm float64) float64 {
+	lambdaBohr := nm / NmPerBohr
+	return 2 * 3.14159265358979323846 * SpeedOfLightAU / lambdaBohr
+}

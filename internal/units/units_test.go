@@ -1,0 +1,61 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeConversionRoundTrip(t *testing.T) {
+	for _, as := range []float64{0.5, 24, 50, 1000} {
+		au := AttosecondsToAU(as)
+		if math.Abs(AUToAttoseconds(au)-as) > 1e-12*as {
+			t.Errorf("round trip failed for %g as", as)
+		}
+	}
+}
+
+func TestPaperTimeStep(t *testing.T) {
+	// The paper's 50 as PT-CN step is ~2.067 au.
+	au := AttosecondsToAU(50)
+	if math.Abs(au-2.0671) > 1e-3 {
+		t.Errorf("50 as = %g au, want ~2.067", au)
+	}
+}
+
+func Test380nmPhotonEnergy(t *testing.T) {
+	// 380 nm -> 3.263 eV.
+	omega := WavelengthNmToOmegaAU(380)
+	ev := omega * EVPerHartree
+	if math.Abs(ev-3.2627) > 5e-3 {
+		t.Errorf("380 nm photon = %g eV, want ~3.263", ev)
+	}
+}
+
+func TestHartreeEV(t *testing.T) {
+	if math.Abs(EVPerHartree-27.2114) > 1e-3 {
+		t.Errorf("Hartree = %g eV", EVPerHartree)
+	}
+}
+
+func TestBohrAngstrom(t *testing.T) {
+	// 1 Angstrom = 1.8897 bohr; silicon lattice 5.43 A = 10.26 bohr.
+	if math.Abs(SiliconLatticeAngstrom*BohrPerAngstrom-10.2612) > 1e-3 {
+		t.Error("silicon lattice conversion off")
+	}
+	if math.Abs(BohrPerAngstrom*NmPerBohr*10-1) > 1e-6 {
+		t.Error("BohrPerAngstrom and NmPerBohr are inconsistent")
+	}
+}
+
+func TestTotalSimulationLength(t *testing.T) {
+	// Section 4: 30 fs at 50 as per step = 600 steps.
+	steps := 30.0 * 1000 / 50
+	if steps != 600 {
+		t.Errorf("step count %g, want 600", steps)
+	}
+	// 600 steps at 2.067 au each ~ 1240 au total.
+	total := 600 * AttosecondsToAU(50)
+	if math.Abs(total-1240.3) > 1 {
+		t.Errorf("30 fs = %g au", total)
+	}
+}
