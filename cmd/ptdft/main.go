@@ -52,6 +52,7 @@ type config struct {
 	csvPath  string
 	quiet    bool
 	strategy string
+	exchange dist.ExchangeStrategy
 	single   bool
 	savePath string
 	loadPath string
@@ -90,6 +91,12 @@ func parseFlags() (*config, error) {
 	}
 	if c.method != "ptcn" && c.method != "rk4" {
 		return nil, fmt.Errorf("unknown method %q", c.method)
+	}
+	// Resolve the exchange strategy up front so a typo fails before the
+	// ground-state SCF runs, not after.
+	var err error
+	if c.exchange, err = dist.ParseStrategy(c.strategy); err != nil {
+		return nil, err
 	}
 	return &c, nil
 }
@@ -179,7 +186,7 @@ func run(cfg *config) error {
 	var psiFinal []complex128
 	var tFinal float64
 	if cfg.ranks > 1 {
-		records, psiFinal, tFinal, err = runDistributed(cfg, g, psiStart, nb, field, dt, t0, prof)
+		records, psiFinal, tFinal, err = runDistributed(cfg, g, gs.Psi, psiStart, nb, field, dt, t0, prof)
 	} else {
 		records, psiFinal, tFinal, err = runSerial(cfg, g, h, gs.Psi, psiStart, nb, field, dt, t0, prof)
 	}
@@ -255,18 +262,15 @@ func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi
 	return records, psi, now(), nil
 }
 
-func runDistributed(cfg *config, g *grid.Grid, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, prof *trace.Profile) ([]stepRecord, []complex128, float64, error) {
+func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, prof *trace.Profile) ([]stepRecord, []complex128, float64, error) {
 	if cfg.method != "ptcn" {
 		return nil, nil, 0, fmt.Errorf("distributed runs support -method ptcn only")
 	}
 	if nb%cfg.ranks != 0 {
 		return nil, nil, 0, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
 	}
-	strat := map[string]dist.ExchangeStrategy{
-		"bcast": dist.BcastSequential, "overlap": dist.BcastOverlapped, "roundrobin": dist.RoundRobin,
-	}[cfg.strategy]
-	exOpt := dist.ExchangeOptions{Strategy: strat, SinglePrecision: cfg.single}
-	fmt.Printf("distributed: %d ranks, exchange strategy %v, single precision %v\n", cfg.ranks, strat, cfg.single)
+	exOpt := dist.ExchangeOptions{Strategy: cfg.exchange, SinglePrecision: cfg.single}
+	fmt.Printf("distributed: %d ranks, exchange strategy %v, single precision %v\n", cfg.ranks, cfg.exchange, cfg.single)
 
 	records := make([]stepRecord, cfg.steps)
 	psiFinal := make([]complex128, nb*g.NG)
@@ -298,17 +302,22 @@ func runDistributed(cfg *config, g *grid.Grid, psi0 []complex128, nb int, field 
 				}
 				return
 			}
+			// Match runSerial's accounting: the wall clock covers the
+			// step only, not the observable evaluations after it.
+			wall := time.Since(start).Seconds()
 			eb := s.TotalEnergy(local, s.Time)
 			j := s.Current(local)
+			nexc := s.ExcitedElectrons(psiGS, local)
 			if c.Rank() == 0 {
 				records[i] = stepRecord{
 					timeFs:   s.Time * units.FemtosecondPerAU,
 					energy:   eb.Total(),
 					currentZ: j[2],
+					excited:  nexc,
 					scfIters: st.SCFIterations,
-					wallSec:  time.Since(start).Seconds(),
+					wallSec:  wall,
 				}
-				prof.Add("propagation step", records[i].wallSec)
+				prof.Add("propagation step", wall)
 			}
 		}
 		full := d.Gather(local)

@@ -1,0 +1,168 @@
+// Distributed integration tests: the internal/dist PT-CN solver against
+// the serial core.PTCN reference on the shared Si8 fixture, across rank
+// counts, exchange strategies and wire precisions. These are the tests the
+// strategy/precision ablations of bench_test.go lean on: if the three
+// communication variants did not propagate identically, their wall-clock
+// comparison would be meaningless.
+package ptdft_test
+
+import (
+	"math"
+	"testing"
+
+	"ptdft/internal/core"
+	"ptdft/internal/dist"
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/laser"
+	"ptdft/internal/mpi"
+	"ptdft/internal/observe"
+	"ptdft/internal/potential"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+// propagate runs `steps` distributed PT-CN steps on `ranks` ranks and
+// returns the gathered final orbitals, the final energy breakdown total
+// and the final current.
+func propagate(t *testing.T, g *grid.Grid, psi0 []complex128, nb int, hybrid bool, ranks, steps int, dt float64, opt dist.ExchangeOptions) (psi []complex128, energy float64, current [3]float64) {
+	t.Helper()
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	psi = make([]complex128, nb*g.NG)
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		d, err := dist.NewCtx(c, g, nb, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), hybrid, kick, core.DefaultPTCN(), opt)
+		lo, hi := d.BandRange(c.Rank())
+		local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
+		for i := 0; i < steps; i++ {
+			local, _, err = s.Step(local, dt)
+			if err != nil {
+				t.Errorf("rank %d step %d: %v", c.Rank(), i, err)
+				return
+			}
+		}
+		eb := s.TotalEnergy(local, s.Time)
+		j := s.Current(local)
+		full := d.Gather(local)
+		if c.Rank() == 0 {
+			copy(psi, full)
+			energy = eb.Total()
+			current = j
+		}
+	})
+	return psi, energy, current
+}
+
+// TestDistributedSemilocalMatchesSerial propagates the semi-local system
+// distributed over several rank counts and compares density and energy
+// against the serial core.PTCN propagator.
+func TestDistributedSemilocalMatchesSerial(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: kick}
+	p := core.NewPTCN(sys, core.DefaultPTCN())
+	ref := wavefunc.Clone(psi0)
+	var err error
+	const steps, dt = 2, 1.0
+	for i := 0; i < steps; i++ {
+		if ref, _, err = p.Step(ref, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refRho := potential.Density(g, ref, nb, 2)
+	refE := observe.Energy(sys, ref, p.Time).Total()
+	refJ := observe.Current(sys, ref)
+
+	for _, ranks := range []int{2, 3, 4} {
+		got, e, j := propagate(t, g, psi0, nb, false, ranks, steps, dt, dist.ExchangeOptions{})
+		rho := potential.Density(g, got, nb, 2)
+		if d := potential.DensityDiff(g, refRho, rho, 32); d > 1e-7 {
+			t.Errorf("ranks=%d: density differs from serial by %g", ranks, d)
+		}
+		if d := math.Abs(e - refE); d > 1e-7 {
+			t.Errorf("ranks=%d: energy %.10f vs serial %.10f", ranks, e, refE)
+		}
+		if d := math.Abs(j[2] - refJ[2]); d > 1e-7 {
+			t.Errorf("ranks=%d: current %g vs serial %g", ranks, j[2], refJ[2])
+		}
+		// The physical state must match band-subspace-wise, not just in
+		// integrated observables.
+		if f := wavefunc.SubspaceFidelity(ref, got, nb, g.NG); math.Abs(f-1) > 1e-8 {
+			t.Errorf("ranks=%d: subspace fidelity %g, want 1", ranks, f)
+		}
+	}
+}
+
+// TestDistributedStrategiesAgree runs one hybrid PT-CN step under all
+// three exchange communication strategies: they ship identical reference
+// data, so the propagation must agree to double-precision accumulation
+// round-off, and the single-precision wire format within a looser bound.
+func TestDistributedStrategiesAgree(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	const steps, dt = 1, 1.0
+	base, eBase, _ := propagate(t, g, psi0, nb, true, 4, steps, dt, dist.ExchangeOptions{Strategy: dist.BcastSequential})
+
+	for _, tc := range []struct {
+		name string
+		opt  dist.ExchangeOptions
+		tol  float64
+	}{
+		{"overlap", dist.ExchangeOptions{Strategy: dist.BcastOverlapped}, 1e-9},
+		{"roundrobin", dist.ExchangeOptions{Strategy: dist.RoundRobin}, 1e-9},
+		{"bcast_singleprec", dist.ExchangeOptions{Strategy: dist.BcastSequential, SinglePrecision: true}, 1e-4},
+		{"overlap_singleprec", dist.ExchangeOptions{Strategy: dist.BcastOverlapped, SinglePrecision: true}, 1e-4},
+	} {
+		got, e, _ := propagate(t, g, psi0, nb, true, 4, steps, dt, tc.opt)
+		if d := wavefunc.MaxDiff(base, got); d > tc.tol {
+			t.Errorf("%s: orbitals differ from bcast by %g (tol %g)", tc.name, d, tc.tol)
+		}
+		if d := math.Abs(e - eBase); d > tc.tol {
+			t.Errorf("%s: energy differs from bcast by %g (tol %g)", tc.name, d, tc.tol)
+		}
+	}
+}
+
+// TestDistributedHybridMatchesSerial checks the distributed hybrid path
+// against the serial hybrid propagator: same screened exchange, same
+// exchange attenuation of the semi-local functional.
+func TestDistributedHybridMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid propagation is slow")
+	}
+	g, psi0, nb := fixtureT(t)
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	h := hamiltonian.New(g, siPots(), hamiltonian.Config{Hybrid: true, Params: xc.HSE06()})
+	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: kick}
+	p := core.NewPTCN(sys, core.DefaultPTCN())
+	ref, _, err := p.Step(wavefunc.Clone(psi0), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refE := observe.Energy(sys, ref, p.Time).Total()
+
+	got, e, _ := propagate(t, g, psi0, nb, true, 4, 1, 1.0, dist.ExchangeOptions{Strategy: dist.BcastOverlapped})
+	refRho := potential.Density(g, ref, nb, 2)
+	rho := potential.Density(g, got, nb, 2)
+	if d := potential.DensityDiff(g, refRho, rho, 32); d > 1e-6 {
+		t.Errorf("hybrid density differs from serial by %g", d)
+	}
+	if d := math.Abs(e - refE); d > 1e-6 {
+		t.Errorf("hybrid energy %.10f vs serial %.10f", e, refE)
+	}
+}
+
+// TestDistributedOrbitalNormsPreserved: the distributed Trsm
+// orthonormalization must leave every gathered band normalized.
+func TestDistributedOrbitalNormsPreserved(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	got, _, _ := propagate(t, g, psi0, nb, false, 4, 2, 1.5, dist.ExchangeOptions{})
+	if e := wavefunc.OrthonormalityError(got, nb, g.NG); e > 1e-10 {
+		t.Errorf("gathered band set orthonormality error %g", e)
+	}
+}

@@ -1,0 +1,3 @@
+module ptdft
+
+go 1.24

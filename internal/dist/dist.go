@@ -1,0 +1,241 @@
+// Package dist implements the paper's section 3 parallelization on the
+// goroutine message-passing runtime of internal/mpi: the two-dimensional
+// band-index x G-space decomposition of Fig. 1, the MPI_Alltoallv layout
+// transpose between the two layouts, the three Fock-exchange communication
+// strategies of section 3.2 (sequential broadcast, broadcast overlapped
+// with computation, round-robin point-to-point), single-precision MPI
+// payloads (optimization 4), and a distributed PT-CN propagator that
+// mirrors Algorithm 1 band-block by band-block.
+//
+// Layouts. In the band-index layout each rank owns a contiguous block of
+// bands with every G coefficient of those bands: this is where H*Psi, the
+// Fock exchange and the Anderson mixing run, because each of those is
+// independent per band once the shared state (potential, exchange
+// reference orbitals) is in place. In the G-space layout each rank owns a
+// contiguous slab of the G sphere for every band: this is where overlap
+// matrices, the PT residual projection and the Trsm orthogonalization run,
+// because those couple all bands at each G. BandToG/GToBand transpose
+// between the two with one MPI_Alltoallv, exactly the data movement the
+// paper's Fig. 1 depicts.
+//
+// See DESIGN.md for the decomposition walkthrough and the deviations from
+// the paper's Summit implementation.
+package dist
+
+import (
+	"fmt"
+
+	"ptdft/internal/grid"
+	"ptdft/internal/mpi"
+)
+
+// Tag blocks for the collectives of one Ctx. Collectives are issued in the
+// same order on every rank, and the mailbox runtime preserves per-tag FIFO
+// order, so a fixed tag per call site is safe; only the pipelined exchange
+// broadcast needs a distinct tag per band (two broadcasts are in flight at
+// once) and the round-robin ring a tag per hop.
+const (
+	tagGather    = 10
+	tagBandToG   = 20
+	tagGToBand   = 30
+	tagDensity   = 40      // AllreduceSum consumes 40 and 41
+	tagOverlap   = 50      // AllreduceSum consumes 50 and 51
+	tagScalars   = 60      // AllreduceSum consumes 60 and 61
+	tagCurrent   = 70      // AllreduceSum consumes 70 and 71
+	tagExcited   = 80      // AllreduceSum consumes 80 and 81
+	tagExchBcast = 1 << 10 // + global band index
+	tagExchRing  = 1 << 11 // + ring hop
+)
+
+// Ctx owns one rank's view of the band-index x G-space decomposition: the
+// communicator, the grid, and the partition arithmetic shared by the
+// transpose, gather and exchange operations.
+type Ctx struct {
+	C    *mpi.Comm
+	G    *grid.Grid
+	NB   int // global number of bands
+	Dims int // decomposition dimensions: 1 = band only, 2 = band x G
+}
+
+// NewCtx validates and builds the decomposition context. dims selects how
+// many index spaces are partitioned: 1 partitions bands only (no transposed
+// layout, so the G-space operations are unavailable), 2 partitions both
+// bands and the G sphere across the same ranks as the paper does.
+func NewCtx(c *mpi.Comm, g *grid.Grid, nb, dims int) (*Ctx, error) {
+	if c == nil || g == nil {
+		return nil, fmt.Errorf("dist: nil communicator or grid")
+	}
+	if dims != 1 && dims != 2 {
+		return nil, fmt.Errorf("dist: unsupported decomposition dims %d (want 1 or 2)", dims)
+	}
+	if nb < 1 {
+		return nil, fmt.Errorf("dist: non-positive band count %d", nb)
+	}
+	if nb < c.Size() {
+		return nil, fmt.Errorf("dist: %d bands cannot feed %d ranks (band-index parallelization needs ranks <= bands)", nb, c.Size())
+	}
+	if dims == 2 && g.NG < c.Size() {
+		return nil, fmt.Errorf("dist: G sphere of %d coefficients cannot be sliced across %d ranks", g.NG, c.Size())
+	}
+	return &Ctx{C: c, G: g, NB: nb, Dims: dims}, nil
+}
+
+// Rank returns this rank's index.
+func (d *Ctx) Rank() int { return d.C.Rank() }
+
+// Size returns the communicator size.
+func (d *Ctx) Size() int { return d.C.Size() }
+
+// BandRange returns the contiguous half-open global band range [lo, hi)
+// owned by rank. Blocks are balanced to within one band, cover [0, NB)
+// without gaps, and are ordered by rank.
+func (d *Ctx) BandRange(rank int) (lo, hi int) {
+	size := d.C.Size()
+	return rank * d.NB / size, (rank + 1) * d.NB / size
+}
+
+// NumLocalBands returns the number of bands this rank owns.
+func (d *Ctx) NumLocalBands() int {
+	lo, hi := d.BandRange(d.C.Rank())
+	return hi - lo
+}
+
+// bandOwner returns the rank owning global band i under the balanced
+// contiguous partition.
+func (d *Ctx) bandOwner(i int) int {
+	size := d.C.Size()
+	// Inverse of BandRange: the candidate from the uniform estimate is off
+	// by at most one in either direction.
+	r := i * size / d.NB
+	for {
+		lo, hi := d.BandRange(r)
+		if i < lo {
+			r--
+		} else if i >= hi {
+			r++
+		} else {
+			return r
+		}
+	}
+}
+
+// GRange returns the contiguous half-open G-sphere slab [lo, hi) owned by
+// rank in the transposed layout, with the same balanced-partition
+// invariants as BandRange.
+func (d *Ctx) GRange(rank int) (lo, hi int) {
+	size := d.C.Size()
+	return rank * d.G.NG / size, (rank + 1) * d.G.NG / size
+}
+
+// NumLocalG returns the width of this rank's G slab.
+func (d *Ctx) NumLocalG() int {
+	lo, hi := d.GRange(d.C.Rank())
+	return hi - lo
+}
+
+// Gather reassembles the full band-major orbital set from every rank's
+// local block (MPI_Allgatherv); every rank returns the complete NB x NG
+// array. Collective: all ranks must call it together.
+func (d *Ctx) Gather(local []complex128) []complex128 {
+	ng := d.G.NG
+	if len(local) != d.NumLocalBands()*ng {
+		panic(fmt.Sprintf("dist: Gather local block has %d coefficients, want %d bands x %d", len(local), d.NumLocalBands(), ng))
+	}
+	parts := mpi.Allgatherv(d.C, tagGather, local)
+	out := make([]complex128, d.NB*ng)
+	for r := 0; r < d.C.Size(); r++ {
+		lo, _ := d.BandRange(r)
+		copy(out[lo*ng:], parts[r])
+	}
+	return out
+}
+
+// BandToG transposes this rank's band-layout block (local bands x full NG)
+// into the G-space layout (all NB bands x local G slab) with one
+// MPI_Alltoallv. When single is true the wire payload is down-converted to
+// complex64, halving the transpose volume (section 3.2, optimization 4);
+// the returned data is always complex128. Collective.
+func (d *Ctx) BandToG(local []complex128, single bool) []complex128 {
+	if d.Dims < 2 {
+		panic("dist: BandToG requires a dims=2 decomposition")
+	}
+	ng := d.G.NG
+	nbl := d.NumLocalBands()
+	if len(local) != nbl*ng {
+		panic("dist: BandToG local block size mismatch")
+	}
+	size := d.C.Size()
+	send := make([][]complex128, size)
+	for r := 0; r < size; r++ {
+		glo, ghi := d.GRange(r)
+		w := ghi - glo
+		buf := make([]complex128, nbl*w)
+		for j := 0; j < nbl; j++ {
+			copy(buf[j*w:(j+1)*w], local[j*ng+glo:j*ng+ghi])
+		}
+		send[r] = buf
+	}
+	recv := d.alltoallv(send, tagBandToG, single)
+	w := d.NumLocalG()
+	out := make([]complex128, d.NB*w)
+	for r := 0; r < size; r++ {
+		blo, bhi := d.BandRange(r)
+		for j := 0; j < bhi-blo; j++ {
+			copy(out[(blo+j)*w:(blo+j+1)*w], recv[r][j*w:(j+1)*w])
+		}
+	}
+	return out
+}
+
+// GToBand is the inverse transpose: from the G-space layout (all NB bands x
+// local G slab) back to this rank's band-layout block. Collective.
+func (d *Ctx) GToBand(gd []complex128, single bool) []complex128 {
+	if d.Dims < 2 {
+		panic("dist: GToBand requires a dims=2 decomposition")
+	}
+	w := d.NumLocalG()
+	if len(gd) != d.NB*w {
+		panic("dist: GToBand slab size mismatch")
+	}
+	size := d.C.Size()
+	send := make([][]complex128, size)
+	for r := 0; r < size; r++ {
+		blo, bhi := d.BandRange(r)
+		buf := make([]complex128, (bhi-blo)*w)
+		for j := blo; j < bhi; j++ {
+			copy(buf[(j-blo)*w:(j-blo+1)*w], gd[j*w:(j+1)*w])
+		}
+		send[r] = buf
+	}
+	recv := d.alltoallv(send, tagGToBand, single)
+	ng := d.G.NG
+	nbl := d.NumLocalBands()
+	out := make([]complex128, nbl*ng)
+	for r := 0; r < size; r++ {
+		rglo, rghi := d.GRange(r)
+		rw := rghi - rglo
+		for j := 0; j < nbl; j++ {
+			copy(out[j*ng+rglo:j*ng+rghi], recv[r][j*rw:(j+1)*rw])
+		}
+	}
+	return out
+}
+
+// alltoallv runs the personalized all-to-all in double or single wire
+// precision. In single mode every block - including the rank's own - is
+// passed through complex64, so all ranks see identically rounded data.
+func (d *Ctx) alltoallv(send [][]complex128, tag int, single bool) [][]complex128 {
+	if !single {
+		return mpi.Alltoallv(d.C, tag, send)
+	}
+	s32 := make([][]complex64, len(send))
+	for i := range send {
+		s32[i] = mpi.SingleOf(send[i])
+	}
+	r32 := mpi.Alltoallv(d.C, tag, s32)
+	out := make([][]complex128, len(r32))
+	for i := range r32 {
+		out[i] = mpi.DoubleOf(r32[i])
+	}
+	return out
+}

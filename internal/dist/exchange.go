@@ -1,0 +1,234 @@
+// Fock-exchange communication: the three strategies of section 3.2 for
+// shipping the reference orbitals phi to every rank, and the distributed
+// application of the screened exchange operator to the local band block.
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"ptdft/internal/fock"
+	"ptdft/internal/mpi"
+	"ptdft/internal/parallel"
+)
+
+// ExchangeStrategy selects how the exchange reference orbitals travel.
+type ExchangeStrategy int
+
+const (
+	// BcastSequential broadcasts each reference band from its owner in
+	// global band order and computes its contribution before the next
+	// broadcast starts - the paper's baseline binomial-tree scheme
+	// (section 3.2, optimization 3).
+	BcastSequential ExchangeStrategy = iota
+	// BcastOverlapped posts the broadcast of band i+1 while band i is
+	// being folded into the local accumulators, hiding the broadcast
+	// latency behind the FFT work (section 3.2, optimization 5 - the
+	// paper overlaps MPI_Bcast with GPU computation the same way).
+	BcastOverlapped
+	// RoundRobin passes band blocks around a ring with point-to-point
+	// Send/Recv instead of broadcasts: after P-1 hops every rank has
+	// folded in every block. Trades the log(P) tree for P-1 neighbor
+	// messages; the paper discusses it as the broadcast alternative.
+	RoundRobin
+)
+
+// strategyTable is the single source of truth for strategy names: String,
+// StrategyNames and ParseStrategy all derive from it, so adding a strategy
+// means adding exactly one row.
+var strategyTable = []struct {
+	strategy ExchangeStrategy
+	name     string
+}{
+	{BcastSequential, "bcast"},
+	{BcastOverlapped, "overlap"},
+	{RoundRobin, "roundrobin"},
+}
+
+// String names the strategy as the -exchange flag spells it.
+func (s ExchangeStrategy) String() string {
+	for _, e := range strategyTable {
+		if e.strategy == s {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("ExchangeStrategy(%d)", int(s))
+}
+
+// StrategyNames lists the recognized strategy names in flag order.
+func StrategyNames() []string {
+	names := make([]string, len(strategyTable))
+	for i, e := range strategyTable {
+		names[i] = e.name
+	}
+	return names
+}
+
+// ParseStrategy resolves a CLI name to a strategy, rejecting unknown names
+// instead of silently mapping them to the zero value.
+func ParseStrategy(name string) (ExchangeStrategy, error) {
+	for _, e := range strategyTable {
+		if e.name == name {
+			return e.strategy, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown exchange strategy %q (valid: %s)", name, strings.Join(StrategyNames(), ", "))
+}
+
+// ExchangeOptions bundle the communication choices for one exchange
+// application. SinglePrecision down-converts the orbital payloads to
+// complex64 on the wire (section 3.2, optimization 4: "single precision
+// MPI"), halving the dominant communication volume; wavefunctions are
+// converted back to double precision for computation.
+type ExchangeOptions struct {
+	Strategy        ExchangeStrategy
+	SinglePrecision bool
+}
+
+// FockExchange applies the distributed screened Fock exchange
+// V_X[phi] psi_j for every local band j and returns the band-major result
+// (sphere coefficients): each reference band phi_i - owned rank by rank
+// across the communicator - is delivered to every rank by the selected
+// strategy and folded into the local accumulators with one FFT Poisson
+// solve per (i, j) pair, the Alg. 2 inner loop. phi and psi are this
+// rank's band blocks; kernel is the screened Coulomb kernel K(G) on the
+// wavefunction box (fock.BuildKernel); alpha is the exchange mixing
+// fraction. Collective: all ranks must call it together with the same
+// options.
+func (d *Ctx) FockExchange(phi, psi []complex128, kernel []float64, alpha float64, opt ExchangeOptions) []complex128 {
+	ng := d.G.NG
+	ntot := d.G.NTot
+	nbl := d.NumLocalBands()
+	if len(phi) != nbl*ng || len(psi) != nbl*ng {
+		panic("dist: FockExchange band block size mismatch")
+	}
+	if len(kernel) != ntot {
+		panic("dist: FockExchange kernel must cover the wavefunction box")
+	}
+
+	// Real-space local psi bands and accumulators, computed once.
+	psiReal := make([]complex128, nbl*ntot)
+	parallel.For(nbl, func(j int) {
+		d.G.ToRealSerial(psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng])
+	})
+	acc := make([]complex128, nbl*ntot)
+
+	// process folds one reference band (sphere coefficients) into every
+	// local accumulator through the shared Alg. 2 inner step. Scratch is
+	// hoisted out of the hot loop: one phiR reused across reference bands
+	// (process runs sequentially) and one pair buffer per local band
+	// (parallel.For hands each j to exactly one worker).
+	phiR := make([]complex128, ntot)
+	pairs := make([]complex128, nbl*ntot)
+	process := func(band []complex128) {
+		d.G.ToRealSerial(phiR, band)
+		parallel.For(nbl, func(j int) {
+			fock.ContractReference(d.G, kernel, alpha, phiR, psiReal[j*ntot:(j+1)*ntot], acc[j*ntot:(j+1)*ntot], pairs[j*ntot:(j+1)*ntot])
+		})
+	}
+
+	switch opt.Strategy {
+	case BcastOverlapped:
+		d.exchangeBcastOverlapped(phi, opt.SinglePrecision, process)
+	case RoundRobin:
+		d.exchangeRoundRobin(phi, opt.SinglePrecision, process)
+	default:
+		d.exchangeBcastSequential(phi, opt.SinglePrecision, process)
+	}
+
+	vx := make([]complex128, nbl*ng)
+	parallel.For(nbl, func(j int) {
+		d.G.FromRealSerial(vx[j*ng:(j+1)*ng], acc[j*ntot:(j+1)*ntot])
+	})
+	return vx
+}
+
+// bcastBand broadcasts one band from root into buf, optionally through a
+// single-precision wire format. In single mode the root's own copy passes
+// through complex64 too, so every rank computes from identical values.
+func (d *Ctx) bcastBand(buf []complex128, root, tag int, single bool) {
+	if single {
+		b32 := mpi.SingleOf(buf)
+		mpi.Bcast(d.C, root, tag, b32)
+		copy(buf, mpi.DoubleOf(b32))
+		return
+	}
+	mpi.Bcast(d.C, root, tag, buf)
+}
+
+// exchangeBcastSequential delivers reference bands in global order, one
+// blocking broadcast each.
+func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, process func([]complex128)) {
+	ng := d.G.NG
+	myLo, _ := d.BandRange(d.C.Rank())
+	buf := make([]complex128, ng)
+	for i := 0; i < d.NB; i++ {
+		owner := d.bandOwner(i)
+		if owner == d.C.Rank() {
+			copy(buf, phi[(i-myLo)*ng:(i-myLo+1)*ng])
+		}
+		d.bcastBand(buf, owner, tagExchBcast+i, single)
+		process(buf)
+	}
+}
+
+// exchangeBcastOverlapped pipelines the broadcasts: the fetch of band i+1
+// runs on its own goroutine (distinct tag, so the Comm handle is safe)
+// while band i is folded into the accumulators.
+func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, process func([]complex128)) {
+	ng := d.G.NG
+	myLo, _ := d.BandRange(d.C.Rank())
+	fetch := func(i int) chan []complex128 {
+		ch := make(chan []complex128, 1)
+		go func() {
+			buf := make([]complex128, ng)
+			owner := d.bandOwner(i)
+			if owner == d.C.Rank() {
+				copy(buf, phi[(i-myLo)*ng:(i-myLo+1)*ng])
+			}
+			d.bcastBand(buf, owner, tagExchBcast+i, single)
+			ch <- buf
+		}()
+		return ch
+	}
+	next := fetch(0)
+	for i := 0; i < d.NB; i++ {
+		band := <-next
+		if i+1 < d.NB {
+			next = fetch(i + 1)
+		}
+		process(band)
+	}
+}
+
+// exchangeRoundRobin circulates band blocks around the rank ring: at hop t
+// each rank holds (and folds in) the block originally owned by rank
+// (rank - t) mod P, then passes it to the next rank.
+func (d *Ctx) exchangeRoundRobin(phi []complex128, single bool, process func([]complex128)) {
+	ng := d.G.NG
+	rank, size := d.C.Rank(), d.C.Size()
+	cur := append([]complex128(nil), phi...)
+	if single {
+		// Round own block through the wire precision up front so all
+		// strategies compute from identically rounded reference data.
+		cur = mpi.DoubleOf(mpi.SingleOf(cur))
+	}
+	for t := 0; t < size; t++ {
+		src := (rank - t + size) % size
+		lo, hi := d.BandRange(src)
+		for i := 0; i < hi-lo; i++ {
+			process(cur[i*ng : (i+1)*ng])
+		}
+		if t == size-1 {
+			break
+		}
+		next, prev := (rank+1)%size, (rank-1+size)%size
+		if single {
+			mpi.Send(d.C, next, tagExchRing+t, mpi.SingleOf(cur))
+			cur = mpi.DoubleOf(mpi.Recv[complex64](d.C, prev, tagExchRing+t))
+		} else {
+			mpi.Send(d.C, next, tagExchRing+t, cur)
+			cur = mpi.Recv[complex128](d.C, prev, tagExchRing+t)
+		}
+	}
+}

@@ -116,24 +116,33 @@ func (op *Operator) ApplyReal(dstReal, srcReal []complex128) {
 	}
 	pair := make([]complex128, ntot)
 	for i := 0; i < op.nb; i++ {
-		phi := op.phiReal[i*ntot : (i+1)*ntot]
-		// Charge-like quantity phi_i^*(r) psi(r).
-		for k := range pair {
-			p := phi[k]
-			pair[k] = complex(real(p), -imag(p)) * srcReal[k]
-		}
-		// Poisson-like solve: coefficients rho_G = Forward/N, synthesis
-		// multiplies by N; the factors cancel so Forward + kernel +
-		// normalized Inverse yields v(r) directly.
-		op.g.Plan.ApplySerial(pair, pair, false)
-		for k := range pair {
-			pair[k] *= complex(op.kernel[k], 0)
-		}
-		op.g.Plan.ApplySerial(pair, pair, true)
-		a := complex(-op.alpha, 0)
-		for k := range pair {
-			dstReal[k] += a * phi[k] * pair[k]
-		}
+		ContractReference(op.g, op.kernel, op.alpha, op.phiReal[i*ntot:(i+1)*ntot], srcReal, dstReal, pair)
+	}
+}
+
+// ContractReference accumulates the exchange contribution of one reference
+// orbital into dstReal for a wavefunction, all in real space on the
+// wavefunction box: dstReal += -alpha * phi * Poisson[phi^* src]. pair is a
+// caller-provided NTot scratch buffer. This is the shared (i, j) inner step
+// of Alg. 2; the serial Operator and the distributed exchange of
+// internal/dist both fold bands through it.
+func ContractReference(g *grid.Grid, kernel []float64, alpha float64, phiReal, srcReal, dstReal, pair []complex128) {
+	// Charge-like quantity phi_i^*(r) psi(r).
+	for k := range pair {
+		p := phiReal[k]
+		pair[k] = complex(real(p), -imag(p)) * srcReal[k]
+	}
+	// Poisson-like solve: coefficients rho_G = Forward/N, synthesis
+	// multiplies by N; the factors cancel so Forward + kernel +
+	// normalized Inverse yields v(r) directly.
+	g.Plan.ApplySerial(pair, pair, false)
+	for k := range pair {
+		pair[k] *= complex(kernel[k], 0)
+	}
+	g.Plan.ApplySerial(pair, pair, true)
+	a := complex(-alpha, 0)
+	for k := range pair {
+		dstReal[k] += a * phiReal[k] * pair[k]
 	}
 }
 

@@ -24,21 +24,29 @@ import (
 // projectors used here its effect on spectra is a few-percent amplitude
 // rescaling and does not shift peak positions.
 func Current(s *core.System, psi []complex128) [3]float64 {
-	ng := s.G.NG
-	a := s.H.Field()
+	j := CurrentPartial(s.G, s.H.Field(), psi, s.NB)
+	f := s.Occ / s.G.Volume()
+	return [3]float64{j[0] * f, j[1] * f, j[2] * f}
+}
+
+// CurrentPartial returns the raw (G+A)-weighted band sums for nb
+// band-major bands, without the occ/volume prefactor. Shared by Current
+// and the distributed solver, which allreduces per-rank partials before
+// scaling.
+func CurrentPartial(g *grid.Grid, a [3]float64, psi []complex128, nb int) [3]float64 {
+	ng := g.NG
 	var jx, jy, jz float64
-	for b := 0; b < s.NB; b++ {
+	for b := 0; b < nb; b++ {
 		c := psi[b*ng : (b+1)*ng]
-		for g := 0; g < ng; g++ {
-			w := real(c[g])*real(c[g]) + imag(c[g])*imag(c[g])
-			gv := s.G.GVec[g]
+		for s := 0; s < ng; s++ {
+			w := real(c[s])*real(c[s]) + imag(c[s])*imag(c[s])
+			gv := g.GVec[s]
 			jx += (gv[0] + a[0]) * w
 			jy += (gv[1] + a[1]) * w
 			jz += (gv[2] + a[2]) * w
 		}
 	}
-	f := s.Occ / s.G.Volume()
-	return [3]float64{jx * f, jy * f, jz * f}
+	return [3]float64{jx, jy, jz}
 }
 
 // Energy evaluates the total energy breakdown with H fully refreshed from
