@@ -22,6 +22,7 @@ import (
 	"ptdft/internal/lattice"
 	"ptdft/internal/mixing"
 	"ptdft/internal/mpi"
+	"ptdft/internal/parallel"
 	"ptdft/internal/perf"
 	"ptdft/internal/potential"
 	"ptdft/internal/pseudo"
@@ -250,6 +251,25 @@ func BenchmarkLaserPulse(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Real kernel benchmarks (actual numerics at Si8 scale).
+//
+// The Fock/FFT benchmarks below write their measurements into
+// BENCH_fock.json at the module root (go test -bench 'Fock|FFT' -run '^$'),
+// seeding the repository's benchmark trajectory: each record is keyed by
+// (benchmark, PTDFT_BENCH_LABEL), so baselines recorded before an
+// optimization stay in the file next to the numbers after it.
+
+// recordBench upserts this benchmark's measurement into BENCH_fock.json.
+// Call it after the timed loop; allocsPerOp < 0 means "not measured".
+func recordBench(b *testing.B, g *grid.Grid, nb int, allocsPerOp float64) {
+	b.Helper()
+	if b.N == 0 {
+		return
+	}
+	nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if err := perf.RecordMeasurement("BENCH_fock.json", b.Name(), nsPerOp, allocsPerOp, g.N, nb, parallel.MaxWorkers()); err != nil {
+		b.Logf("bench record not written: %v", err)
+	}
+}
 
 func BenchmarkRealFockApplyAllBands(b *testing.B) {
 	g, psi, nb := fixture(b)
@@ -263,7 +283,99 @@ func BenchmarkRealFockApplyAllBands(b *testing.B) {
 		}
 		op.Apply(out, psi, nb)
 	}
-	b.ReportMetric(float64(nb*nb), "fft_pairs/op")
+	b.StopTimer()
+	// Apply on the reference set runs the symmetric path: nb(nb+1)/2 pairs.
+	b.ReportMetric(float64(nb*(nb+1)/2), "fft_pairs/op")
+	recordBench(b, g, nb, -1)
+}
+
+// BenchmarkFockApplyGeneric is the generic (non-reference) application of
+// the exchange to a single band: nb fused Poisson contractions with no
+// symmetry to exploit - the pure hot-path number.
+func BenchmarkFockApplyGeneric(b *testing.B) {
+	g, psi, nb := fixture(b)
+	op := fock.NewOperator(g, xc.HSE06(), psi, nb)
+	x := wavefunc.Random(g, 1, 99)
+	out := make([]complex128, g.NG)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range out {
+			out[k] = 0
+		}
+		op.Apply(out, x, 1)
+	}
+	b.StopTimer()
+	allocs := testing.AllocsPerRun(1, func() { op.Apply(out, x, 1) })
+	recordBench(b, g, nb, allocs)
+}
+
+// BenchmarkFockApplyToReference is the symmetry-halved application to the
+// operator's own orbital set - the dominant call of the PT-CN refresh.
+func BenchmarkFockApplyToReference(b *testing.B) {
+	g, psi, nb := fixture(b)
+	op := fock.NewOperator(g, xc.HSE06(), psi, nb)
+	out := make([]complex128, nb*g.NG)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range out {
+			out[k] = 0
+		}
+		op.ApplyToReference(out)
+	}
+	b.StopTimer()
+	recordBench(b, g, nb, -1)
+}
+
+// BenchmarkFockEnergy streams the exchange energy on the reference set.
+func BenchmarkFockEnergy(b *testing.B) {
+	g, psi, nb := fixture(b)
+	op := fock.NewOperator(g, xc.HSE06(), psi, nb)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += op.Energy(psi, nb)
+	}
+	b.StopTimer()
+	_ = sink
+	recordBench(b, g, nb, -1)
+}
+
+// BenchmarkFFTPoissonSolve times one fused Poisson round trip on the
+// wavefunction box - the atom the nb^2 exchange cost is built from.
+func BenchmarkFFTPoissonSolve(b *testing.B) {
+	g, psi, nb := fixture(b)
+	kernel := fock.BuildKernel(g, xc.HSE06())
+	buf := make([]complex128, g.NTot)
+	g.ToRealSerial(buf, psi[:g.NG])
+	ws := g.Plan.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Plan.PoissonSerialWS(buf, kernel, ws)
+	}
+	b.StopTimer()
+	allocs := testing.AllocsPerRun(1, func() { g.Plan.PoissonSerialWS(buf, kernel, ws) })
+	recordBench(b, g, nb, allocs)
+}
+
+// BenchmarkFFTSerial3D times one serial 3D transform of the wavefunction
+// box through the plan-owned workspace path.
+func BenchmarkFFTSerial3D(b *testing.B) {
+	g, psi, _ := fixture(b)
+	buf := make([]complex128, g.NTot)
+	g.ToRealSerial(buf, psi[:g.NG])
+	ws := g.Plan.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Plan.ApplySerialWS(buf, buf, i%2 == 0, ws)
+	}
+	b.StopTimer()
+	allocs := testing.AllocsPerRun(1, func() { g.Plan.ApplySerialWS(buf, buf, false, ws) })
+	recordBench(b, g, 1, allocs)
 }
 
 func BenchmarkRealACEApply(b *testing.B) {

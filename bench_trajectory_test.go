@@ -1,0 +1,46 @@
+package ptdft_test
+
+import (
+	"testing"
+
+	"ptdft/internal/perf"
+)
+
+// TestBenchTrajectoryRecordsImprovement validates the committed benchmark
+// trajectory: BENCH_fock.json must parse, and the zero-allocation rework
+// (label pr2-workspaces) must hold its recorded >= 1.5x improvement over
+// the seed baseline (label pr1-seed) with an allocation-free generic hot
+// path. This pins the file's contract - future PRs append new labels and
+// extend the check rather than overwriting history.
+func TestBenchTrajectoryRecordsImprovement(t *testing.T) {
+	bf, err := perf.LoadBench("BENCH_fock.json")
+	if err != nil {
+		t.Fatalf("BENCH_fock.json unreadable: %v", err)
+	}
+	for _, name := range []string{"BenchmarkRealFockApplyAllBands", "BenchmarkFockApplySingleBand"} {
+		base, ok := bf.Find(name, "pr1-seed")
+		if !ok {
+			t.Errorf("%s: pr1-seed baseline missing", name)
+			continue
+		}
+		cur, ok := bf.Find(name, "pr2-workspaces")
+		if !ok {
+			t.Errorf("%s: pr2-workspaces record missing", name)
+			continue
+		}
+		if ratio := base.NsPerOp / cur.NsPerOp; ratio < 1.5 {
+			t.Errorf("%s: recorded speedup %.2fx < 1.5x (%.0f -> %.0f ns/op)", name, ratio, base.NsPerOp, cur.NsPerOp)
+		}
+	}
+	// The zero-allocation contract as recorded.
+	for _, name := range []string{"BenchmarkFockApplyGeneric", "BenchmarkFockApplySingleBand", "BenchmarkFFTPoissonSolve", "BenchmarkFFTSerial3D"} {
+		rec, ok := bf.Find(name, "pr2-workspaces")
+		if !ok {
+			t.Errorf("%s: pr2-workspaces record missing", name)
+			continue
+		}
+		if rec.AllocsPerOp != 0 {
+			t.Errorf("%s: recorded %.0f allocs/op, want 0", name, rec.AllocsPerOp)
+		}
+	}
+}

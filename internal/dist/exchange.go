@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"ptdft/internal/fock"
+	"ptdft/internal/fourier"
 	"ptdft/internal/mpi"
 	"ptdft/internal/parallel"
 )
@@ -85,17 +86,78 @@ type ExchangeOptions struct {
 	SinglePrecision bool
 }
 
+// ExchangeWorkspace holds every buffer one rank's FockExchange needs:
+// real-space band blocks, per-worker Poisson scratch with FFT line
+// workspaces, the wire buffers of the communication strategies, and the
+// result block. The distributed solver builds one per rank and reuses it
+// across SCF iterations, so the steady-state exchange performs no
+// band-block allocations (the mailbox copies inside the mpi layer's
+// Send/Bcast semantics remain - they model the wire).
+type ExchangeWorkspace struct {
+	g       *Ctx
+	psiReal []complex128          // nbl x NTot: local bands in real space
+	acc     []complex128          // nbl x NTot: exchange accumulators
+	pairs   []complex128          // nw x NTot: per-worker Poisson buffers
+	phiR    []complex128          // NTot: current reference band in real space
+	band    [2]([]complex128)     // NG wire buffers (two for the overlapped pipeline)
+	ring    []complex128          // nbl x NG: round-robin staging block
+	vx      []complex128          // nbl x NG: result block, valid until the next call
+	fft     []*fourier.Workspace3 // nw: per-worker FFT line scratch
+	fftPhi  *fourier.Workspace3
+	ch      chan []complex128 // overlapped-fetch handoff, capacity 1
+}
+
+// NewExchangeWorkspace allocates the exchange scratch for this rank's band
+// block. Per-worker buffers are sized for the current worker bound and
+// regrown on demand if it is raised later.
+func (d *Ctx) NewExchangeWorkspace() *ExchangeWorkspace {
+	ng, ntot, nbl := d.G.NG, d.G.NTot, d.NumLocalBands()
+	ws := &ExchangeWorkspace{
+		g:       d,
+		psiReal: make([]complex128, nbl*ntot),
+		acc:     make([]complex128, nbl*ntot),
+		phiR:    make([]complex128, ntot),
+		ring:    make([]complex128, nbl*ng),
+		vx:      make([]complex128, nbl*ng),
+		fftPhi:  d.G.Plan.NewWorkspace(),
+		ch:      make(chan []complex128, 1),
+	}
+	ws.band[0] = make([]complex128, ng)
+	ws.band[1] = make([]complex128, ng)
+	ws.ensureWorkers(parallel.NumWorkers(nbl))
+	return ws
+}
+
+// ensureWorkers grows the per-worker Poisson buffers and FFT workspaces to
+// cover nw workers. Scratch scales with parallelism, not band count.
+func (ws *ExchangeWorkspace) ensureWorkers(nw int) {
+	ntot := ws.g.G.NTot
+	if len(ws.pairs) < nw*ntot {
+		ws.pairs = make([]complex128, nw*ntot)
+	}
+	for len(ws.fft) < nw {
+		ws.fft = append(ws.fft, ws.g.G.Plan.NewWorkspace())
+	}
+}
+
 // FockExchange applies the distributed screened Fock exchange
 // V_X[phi] psi_j for every local band j and returns the band-major result
 // (sphere coefficients): each reference band phi_i - owned rank by rank
 // across the communicator - is delivered to every rank by the selected
-// strategy and folded into the local accumulators with one FFT Poisson
-// solve per (i, j) pair, the Alg. 2 inner loop. phi and psi are this
-// rank's band blocks; kernel is the screened Coulomb kernel K(G) on the
-// wavefunction box (fock.BuildKernel); alpha is the exchange mixing
+// strategy and folded into the local accumulators with one fused FFT
+// Poisson solve per (i, j) pair, the Alg. 2 inner loop. phi and psi are
+// this rank's band blocks; kernel is the screened Coulomb kernel K(G) on
+// the wavefunction box (fock.BuildKernel); alpha is the exchange mixing
 // fraction. Collective: all ranks must call it together with the same
 // options.
 func (d *Ctx) FockExchange(phi, psi []complex128, kernel []float64, alpha float64, opt ExchangeOptions) []complex128 {
+	return d.FockExchangeWS(phi, psi, kernel, alpha, opt, d.NewExchangeWorkspace())
+}
+
+// FockExchangeWS is FockExchange with caller-owned scratch. The returned
+// slice is ws.vx: it stays valid until the next call with the same
+// workspace. Collective.
+func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha float64, opt ExchangeOptions, ws *ExchangeWorkspace) []complex128 {
 	ng := d.G.NG
 	ntot := d.G.NTot
 	nbl := d.NumLocalBands()
@@ -106,41 +168,41 @@ func (d *Ctx) FockExchange(phi, psi []complex128, kernel []float64, alpha float6
 		panic("dist: FockExchange kernel must cover the wavefunction box")
 	}
 
+	ws.ensureWorkers(parallel.NumWorkers(nbl))
+
 	// Real-space local psi bands and accumulators, computed once.
-	psiReal := make([]complex128, nbl*ntot)
-	parallel.For(nbl, func(j int) {
-		d.G.ToRealSerial(psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng])
+	parallel.ForWorker(nbl, func(w, j int) {
+		d.G.ToRealSerialWS(ws.psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng], ws.fft[w])
 	})
-	acc := make([]complex128, nbl*ntot)
+	for i := range ws.acc {
+		ws.acc[i] = 0
+	}
 
 	// process folds one reference band (sphere coefficients) into every
 	// local accumulator through the shared Alg. 2 inner step. Scratch is
-	// hoisted out of the hot loop: one phiR reused across reference bands
-	// (process runs sequentially) and one pair buffer per local band
-	// (parallel.For hands each j to exactly one worker).
-	phiR := make([]complex128, ntot)
-	pairs := make([]complex128, nbl*ntot)
+	// bound out of the hot loop: one phiR reused across reference bands
+	// (process runs sequentially) and one pair buffer plus FFT workspace
+	// per worker (ForWorker serializes all iterations of a worker index).
 	process := func(band []complex128) {
-		d.G.ToRealSerial(phiR, band)
-		parallel.For(nbl, func(j int) {
-			fock.ContractReference(d.G, kernel, alpha, phiR, psiReal[j*ntot:(j+1)*ntot], acc[j*ntot:(j+1)*ntot], pairs[j*ntot:(j+1)*ntot])
+		d.G.ToRealSerialWS(ws.phiR, band, ws.fftPhi)
+		parallel.ForWorker(nbl, func(w, j int) {
+			fock.ContractReferenceWS(d.G, kernel, alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[w*ntot:(w+1)*ntot], ws.fft[w])
 		})
 	}
 
 	switch opt.Strategy {
 	case BcastOverlapped:
-		d.exchangeBcastOverlapped(phi, opt.SinglePrecision, process)
+		d.exchangeBcastOverlapped(phi, opt.SinglePrecision, process, ws)
 	case RoundRobin:
-		d.exchangeRoundRobin(phi, opt.SinglePrecision, process)
+		d.exchangeRoundRobin(phi, opt.SinglePrecision, process, ws)
 	default:
-		d.exchangeBcastSequential(phi, opt.SinglePrecision, process)
+		d.exchangeBcastSequential(phi, opt.SinglePrecision, process, ws)
 	}
 
-	vx := make([]complex128, nbl*ng)
-	parallel.For(nbl, func(j int) {
-		d.G.FromRealSerial(vx[j*ng:(j+1)*ng], acc[j*ntot:(j+1)*ntot])
+	parallel.ForWorker(nbl, func(w, j int) {
+		d.G.FromRealSerialWS(ws.vx[j*ng:(j+1)*ng], ws.acc[j*ntot:(j+1)*ntot], ws.fft[w])
 	})
-	return vx
+	return ws.vx
 }
 
 // bcastBand broadcasts one band from root into buf, optionally through a
@@ -157,11 +219,11 @@ func (d *Ctx) bcastBand(buf []complex128, root, tag int, single bool) {
 }
 
 // exchangeBcastSequential delivers reference bands in global order, one
-// blocking broadcast each.
-func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, process func([]complex128)) {
+// blocking broadcast each into the workspace wire buffer.
+func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, process func([]complex128), ws *ExchangeWorkspace) {
 	ng := d.G.NG
 	myLo, _ := d.BandRange(d.C.Rank())
-	buf := make([]complex128, ng)
+	buf := ws.band[0]
 	for i := 0; i < d.NB; i++ {
 		owner := d.bandOwner(i)
 		if owner == d.C.Rank() {
@@ -174,28 +236,27 @@ func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, process fun
 
 // exchangeBcastOverlapped pipelines the broadcasts: the fetch of band i+1
 // runs on its own goroutine (distinct tag, so the Comm handle is safe)
-// while band i is folded into the accumulators.
-func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, process func([]complex128)) {
+// while band i is folded into the accumulators. The two wire buffers
+// ping-pong so the in-flight fetch never touches the band being processed.
+func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, process func([]complex128), ws *ExchangeWorkspace) {
 	ng := d.G.NG
 	myLo, _ := d.BandRange(d.C.Rank())
-	fetch := func(i int) chan []complex128 {
-		ch := make(chan []complex128, 1)
+	fetch := func(i int) {
 		go func() {
-			buf := make([]complex128, ng)
+			buf := ws.band[i%2]
 			owner := d.bandOwner(i)
 			if owner == d.C.Rank() {
 				copy(buf, phi[(i-myLo)*ng:(i-myLo+1)*ng])
 			}
 			d.bcastBand(buf, owner, tagExchBcast+i, single)
-			ch <- buf
+			ws.ch <- buf
 		}()
-		return ch
 	}
-	next := fetch(0)
+	fetch(0)
 	for i := 0; i < d.NB; i++ {
-		band := <-next
+		band := <-ws.ch
 		if i+1 < d.NB {
-			next = fetch(i + 1)
+			fetch(i + 1)
 		}
 		process(band)
 	}
@@ -203,15 +264,22 @@ func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, process fun
 
 // exchangeRoundRobin circulates band blocks around the rank ring: at hop t
 // each rank holds (and folds in) the block originally owned by rank
-// (rank - t) mod P, then passes it to the next rank.
-func (d *Ctx) exchangeRoundRobin(phi []complex128, single bool, process func([]complex128)) {
+// (rank - t) mod P, then passes it to the next rank. The starting block is
+// staged in the workspace ring buffer; the blocks received on later hops
+// are the mailbox copies the mpi layer makes anyway (its Send semantics),
+// so the caller side adds no allocations of its own.
+func (d *Ctx) exchangeRoundRobin(phi []complex128, single bool, process func([]complex128), ws *ExchangeWorkspace) {
 	ng := d.G.NG
 	rank, size := d.C.Rank(), d.C.Size()
-	cur := append([]complex128(nil), phi...)
+	cur := ws.ring[:len(phi)]
+	copy(cur, phi)
 	if single {
-		// Round own block through the wire precision up front so all
-		// strategies compute from identically rounded reference data.
-		cur = mpi.DoubleOf(mpi.SingleOf(cur))
+		// Round own block through the wire precision up front (in place)
+		// so all strategies compute from identically rounded reference
+		// data.
+		for i := range cur {
+			cur[i] = complex128(complex64(cur[i]))
+		}
 	}
 	for t := 0; t < size; t++ {
 		src := (rank - t + size) % size

@@ -47,6 +47,7 @@ type PTCNSolver struct {
 	Time   float64 // current simulation time (au)
 
 	kernel []float64 // screened Coulomb kernel, built once when hybrid
+	exWS   *ExchangeWorkspace
 }
 
 // NewPTCNSolver builds the distributed propagator starting at t = 0.
@@ -90,6 +91,16 @@ func (s *PTCNSolver) prepare(rho []float64, t float64) {
 	s.H.SetVeffDense(veff, en)
 }
 
+// exchange applies the distributed Fock exchange through the solver's
+// reusable workspace (allocated on first use), so the per-iteration
+// exchange performs no band-block allocations.
+func (s *PTCNSolver) exchange(local []complex128) []complex128 {
+	if s.exWS == nil {
+		s.exWS = s.D.NewExchangeWorkspace()
+	}
+	return s.D.FockExchangeWS(local, local, s.kernel, s.Hyb.Alpha, s.Ex, s.exWS)
+}
+
 // applyH computes H psi for the local band block: the semi-local part per
 // band, plus the distributed Fock exchange with the current block as its
 // own reference (V_X[P] with P from the iterate, as in Alg. 1 line 5).
@@ -98,7 +109,7 @@ func (s *PTCNSolver) applyH(local []complex128) []complex128 {
 	hp := make([]complex128, len(local))
 	s.H.Apply(hp, local, nbl)
 	if s.Hybrid {
-		vx := s.D.FockExchange(local, local, s.kernel, s.Hyb.Alpha, s.Ex)
+		vx := s.exchange(local)
 		for i := range hp {
 			hp[i] += vx[i]
 		}
@@ -230,7 +241,7 @@ func (s *PTCNSolver) TotalEnergy(local []complex128, t float64) hamiltonian.Ener
 	eb := s.H.TotalEnergy(local, nbl, s.Occ)
 	part := []float64{eb.Kinetic, eb.Nonlocal, 0}
 	if s.Hybrid {
-		vx := s.D.FockExchange(local, local, s.kernel, s.Hyb.Alpha, s.Ex)
+		vx := s.exchange(local)
 		var ex float64
 		for j := 0; j < nbl; j++ {
 			ex += real(linalg.Dot(local[j*ng:(j+1)*ng], vx[j*ng:(j+1)*ng]))

@@ -25,14 +25,20 @@ type ACE struct {
 
 // NewACE builds the compressed operator from a Fock operator and the
 // reference orbitals phi (band-major sphere coefficients, nb x NG).
-// The construction performs the full nb^2 FFT work once.
+// The construction performs the pairwise FFT work once; when phi is the
+// operator's own reference set (the usual case) the symmetry-halved
+// ApplyToReference path runs nb(nb+1)/2 Poisson solves instead of nb^2.
 func NewACE(op *Operator, phi []complex128, nb int) (*ACE, error) {
 	ng := op.g.NG
 	if len(phi) != nb*ng {
 		return nil, fmt.Errorf("fock: NewACE size mismatch: %d != %d x %d", len(phi), nb, ng)
 	}
 	w := make([]complex128, nb*ng)
-	op.Apply(w, phi, nb)
+	if op.IsReference(phi, nb) {
+		op.ApplyToReference(w)
+	} else {
+		op.Apply(w, phi, nb)
+	}
 	m := make([]complex128, nb*nb)
 	linalg.Overlap(m, phi, w, nb, nb, ng)
 	// -M must be Hermitian positive definite (V_X is negative definite on

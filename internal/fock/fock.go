@@ -9,6 +9,18 @@
 // "compiled" against a reference orbital set phi (the density matrix P of
 // Eq. 2); in the PT-CN SCF loop it is refreshed every iteration.
 //
+// Performance contract: the hot path is allocation-free in steady state.
+// All per-band scratch (real-space boxes, pair buffers, FFT line scratch)
+// lives in Operator-owned Workspace objects bound one-per-worker through
+// parallel.ForWorker, the Poisson solves run through the fused
+// fourier.Plan3 round trips, and when the operator acts on its own
+// reference set the conjugate-pair symmetry
+//
+//	Poisson[phi_i* phi_j] = conj(Poisson[phi_j* phi_i])
+//
+// halves the FFT count to nb(nb+1)/2 solves (ApplyToReference) - the
+// dominant case in the PT-CN SCF refresh, Energy, and ACE construction.
+//
 // The package also implements the adaptively compressed exchange (ACE)
 // representation (refs [22], [24] of the paper) as an optional
 // lower-cost approximation used for ablation studies: V_ACE = -W W^H with
@@ -18,15 +30,17 @@ package fock
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"ptdft/internal/fourier"
 	"ptdft/internal/grid"
-	"ptdft/internal/linalg"
 	"ptdft/internal/parallel"
 	"ptdft/internal/xc"
 )
 
 // Operator applies the screened Fock exchange for a fixed reference
-// orbital set. Safe for concurrent Apply calls once built.
+// orbital set. Safe for concurrent Apply/ApplyReal/Energy calls once
+// built: scratch is checked out of internal pools, never shared.
 type Operator struct {
 	g      *grid.Grid
 	alpha  float64
@@ -34,13 +48,86 @@ type Operator struct {
 	// phiReal holds the reference orbitals in real space on the
 	// wavefunction box, one band per NTot block.
 	phiReal []complex128
-	nb      int
+	// phi keeps a copy of the reference sphere coefficients so entry
+	// points can recognize "the operator applied to its own reference
+	// set" and take the symmetry-halved path.
+	phi []complex128
+	nb  int
+
+	// pairs enumerates the upper triangle (i <= j) once; rounds is the
+	// same set arranged as a round-robin tournament schedule - within a
+	// round no two pairs share a band, so the symmetric accumulation is
+	// both race-free and deterministic.
+	pairs  [][2]int
+	rounds [][][2]int
+
+	// Workspace recycling: ws feeds both single-shot callers (ApplyReal)
+	// and the band-parallel entry points; accReal is the symmetric path's
+	// accumulator, handed out whole under mu so concurrent calls stay
+	// correct (a second caller simply builds a transient buffer).
+	ws      parallel.ScratchPool[*Workspace]
+	mu      sync.Mutex
+	accReal []complex128
+}
+
+// Workspace is the per-worker scratch of one exchange application: two
+// real-space boxes, the pair (Poisson) buffer, a sphere-coefficient
+// vector, and the FFT line scratch. Obtain one from NewWorkspace; a
+// Workspace must not be used by two goroutines at once.
+type Workspace struct {
+	src  []complex128 // NTot: band in real space
+	acc  []complex128 // NTot: exchange accumulator in real space
+	pair []complex128 // NTot: Poisson solve buffer
+	sph  []complex128 // NG: sphere-coefficient scratch
+	fft  *fourier.Workspace3
+}
+
+// NewWorkspace allocates the scratch one worker needs for Apply-family
+// calls on this operator.
+func (op *Operator) NewWorkspace() *Workspace {
+	return &Workspace{
+		src:  make([]complex128, op.g.NTot),
+		acc:  make([]complex128, op.g.NTot),
+		pair: make([]complex128, op.g.NTot),
+		sph:  make([]complex128, op.g.NG),
+		fft:  op.g.Plan.NewWorkspace(),
+	}
+}
+
+// acquireAcc hands out the nb x NTot real-space accumulator of the
+// symmetric reference application, zeroed. The buffer is retained for the
+// operator's lifetime - a deliberate memory-for-speed trade (it is the
+// same size as the phiReal block the operator already holds, and PT-CN
+// calls the symmetric path every SCF iteration).
+func (op *Operator) acquireAcc() []complex128 {
+	n := op.nb * op.g.NTot
+	op.mu.Lock()
+	acc := op.accReal
+	op.accReal = nil
+	op.mu.Unlock()
+	if len(acc) != n {
+		acc = make([]complex128, n)
+	} else {
+		for i := range acc {
+			acc[i] = 0
+		}
+	}
+	return acc
+}
+
+func (op *Operator) releaseAcc(acc []complex128) {
+	op.mu.Lock()
+	if op.accReal == nil {
+		op.accReal = acc
+	}
+	op.mu.Unlock()
 }
 
 // NewOperator builds the Fock operator for hybrid parameters hyb and
 // reference orbitals phi given as sphere coefficients (band-major, nb x NG).
 func NewOperator(g *grid.Grid, hyb xc.HybridParams, phi []complex128, nb int) *Operator {
 	op := &Operator{g: g, alpha: hyb.Alpha, nb: nb}
+	op.ws.New = op.NewWorkspace
 	op.kernel = BuildKernel(g, hyb)
 	op.SetOrbitals(phi, nb)
 	return op
@@ -89,14 +176,69 @@ func (op *Operator) SetOrbitals(phi []complex128, nb int) {
 	if len(phi) != nb*op.g.NG {
 		panic(fmt.Sprintf("fock: SetOrbitals size mismatch: %d bands x NG %d != %d", nb, op.g.NG, len(phi)))
 	}
+	if nb != op.nb || op.pairs == nil {
+		op.pairs, op.rounds = pairSchedule(nb)
+		op.mu.Lock()
+		op.accReal = nil // sized for the old nb
+		op.mu.Unlock()
+	}
 	op.nb = nb
 	ntot := op.g.NTot
 	if len(op.phiReal) != nb*ntot {
 		op.phiReal = make([]complex128, nb*ntot)
 	}
-	parallel.For(nb, func(i int) {
-		op.g.ToRealSerial(op.phiReal[i*ntot:(i+1)*ntot], phi[i*op.g.NG:(i+1)*op.g.NG])
+	if len(op.phi) != nb*op.g.NG {
+		op.phi = make([]complex128, nb*op.g.NG)
+	}
+	copy(op.phi, phi)
+	nw := parallel.NumWorkers(nb)
+	wss := op.ws.Acquire(nw)
+	parallel.ForWorker(nb, func(w, i int) {
+		op.g.ToRealSerialWS(op.phiReal[i*ntot:(i+1)*ntot], phi[i*op.g.NG:(i+1)*op.g.NG], wss[w].fft)
 	})
+	op.ws.Release(wss)
+}
+
+// pairSchedule enumerates the upper-triangle band pairs (i <= j) and
+// arranges the off-diagonal ones as a round-robin tournament (circle
+// method): within each round every band appears in at most one pair, so
+// the two-sided accumulation of ApplyToReference runs in parallel without
+// write conflicts and with a deterministic accumulation order. The
+// diagonal pairs form one final, trivially disjoint round.
+func pairSchedule(nb int) (pairs [][2]int, rounds [][][2]int) {
+	m := nb
+	if m%2 == 1 {
+		m++
+	}
+	for t := 0; t < m-1; t++ {
+		var round [][2]int
+		add := func(a, b int) {
+			if a >= nb || b >= nb {
+				return // the bye of an odd band count
+			}
+			if a > b {
+				a, b = b, a
+			}
+			round = append(round, [2]int{a, b})
+		}
+		if m > 1 {
+			add(m-1, t%(m-1))
+		}
+		for k := 1; k < m/2; k++ {
+			add((t+k)%(m-1), (t-k+m-1)%(m-1))
+		}
+		if len(round) > 0 {
+			rounds = append(rounds, round)
+			pairs = append(pairs, round...)
+		}
+	}
+	var diag [][2]int
+	for i := 0; i < nb; i++ {
+		diag = append(diag, [2]int{i, i})
+	}
+	rounds = append(rounds, diag)
+	pairs = append(pairs, diag...)
+	return pairs, rounds
 }
 
 // NumBands reports the number of reference orbitals.
@@ -105,18 +247,46 @@ func (op *Operator) NumBands() int { return op.nb }
 // Alpha reports the exchange mixing fraction.
 func (op *Operator) Alpha() float64 { return op.alpha }
 
+// IsReference reports whether src (band-major sphere coefficients) equals
+// the operator's own reference orbital set - the case where the symmetric
+// ApplyToReference path applies. The scan exits at the first mismatch, so
+// the common negative costs a handful of comparisons.
+func (op *Operator) IsReference(src []complex128, nb int) bool {
+	if nb != op.nb || len(src) != len(op.phi) {
+		return false
+	}
+	if &src[0] == &op.phi[0] {
+		return true
+	}
+	for i, v := range src {
+		if v != op.phi[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ApplyReal accumulates (V_X psi)(r) into dstReal for a wavefunction given
 // in real space on the wavefunction box. Both buffers have length NTot.
 // This is the per-band inner loop of Alg. 2 (lines 6-10): nb Poisson
-// solves, each a forward FFT, kernel multiply, and inverse FFT.
+// solves, each a fused forward FFT, kernel multiply, and inverse FFT.
 func (op *Operator) ApplyReal(dstReal, srcReal []complex128) {
 	ntot := op.g.NTot
 	if len(dstReal) != ntot || len(srcReal) != ntot {
 		panic("fock: ApplyReal buffer size mismatch")
 	}
-	pair := make([]complex128, ntot)
+	ws := op.ws.Get()
+	op.applyRealWS(dstReal, srcReal, ws)
+	op.ws.Put(ws)
+}
+
+// applyRealWS folds every reference band into dstReal using the caller's
+// workspace (pair buffer + FFT scratch).
+func (op *Operator) applyRealWS(dstReal, srcReal []complex128, ws *Workspace) {
+	ntot := op.g.NTot
+	a := complex(-op.alpha, 0)
 	for i := 0; i < op.nb; i++ {
-		ContractReference(op.g, op.kernel, op.alpha, op.phiReal[i*ntot:(i+1)*ntot], srcReal, dstReal, pair)
+		op.g.Plan.ContractSerialWS(dstReal, op.phiReal[i*ntot:(i+1)*ntot], srcReal, ws.pair, op.kernel, a, ws.fft)
 	}
 }
 
@@ -127,60 +297,224 @@ func (op *Operator) ApplyReal(dstReal, srcReal []complex128) {
 // of Alg. 2; the serial Operator and the distributed exchange of
 // internal/dist both fold bands through it.
 func ContractReference(g *grid.Grid, kernel []float64, alpha float64, phiReal, srcReal, dstReal, pair []complex128) {
-	// Charge-like quantity phi_i^*(r) psi(r).
-	for k := range pair {
-		p := phiReal[k]
-		pair[k] = complex(real(p), -imag(p)) * srcReal[k]
-	}
-	// Poisson-like solve: coefficients rho_G = Forward/N, synthesis
-	// multiplies by N; the factors cancel so Forward + kernel +
-	// normalized Inverse yields v(r) directly.
-	g.Plan.ApplySerial(pair, pair, false)
-	for k := range pair {
-		pair[k] *= complex(kernel[k], 0)
-	}
-	g.Plan.ApplySerial(pair, pair, true)
-	a := complex(-alpha, 0)
-	for k := range pair {
-		dstReal[k] += a * phiReal[k] * pair[k]
-	}
+	ws := g.Plan.CheckoutWorkspace()
+	g.Plan.ContractSerialWS(dstReal, phiReal, srcReal, pair, kernel, complex(-alpha, 0), ws)
+	g.Plan.ReturnWorkspace(ws)
 }
 
-// Apply computes V_X applied to nb sphere-coefficient bands (band-major)
-// and accumulates the result into dst (same layout). The band loop is
-// parallelized; each band performs op.nb FFT pairs, mirroring the batched
-// GPU execution of the paper.
+// ContractReferenceWS is ContractReference with caller-owned FFT scratch,
+// for loops that bind one workspace per worker.
+func ContractReferenceWS(g *grid.Grid, kernel []float64, alpha float64, phiReal, srcReal, dstReal, pair []complex128, fws *fourier.Workspace3) {
+	g.Plan.ContractSerialWS(dstReal, phiReal, srcReal, pair, kernel, complex(-alpha, 0), fws)
+}
+
+// Apply computes V_X applied to nbands sphere-coefficient bands
+// (band-major) and accumulates the result into dst (same layout). The band
+// loop is parallelized with one workspace per worker, mirroring the
+// batched GPU execution of the paper. When src is the operator's own
+// reference set the call routes through ApplyToReference and performs only
+// nb(nb+1)/2 Poisson solves.
 func (op *Operator) Apply(dst, src []complex128, nbands int) {
 	ng := op.g.NG
 	if len(dst) != nbands*ng || len(src) != nbands*ng {
 		panic("fock: Apply buffer size mismatch")
 	}
-	ntot := op.g.NTot
-	parallel.For(nbands, func(j int) {
-		srcReal := make([]complex128, ntot)
-		acc := make([]complex128, ntot)
-		op.g.ToRealSerial(srcReal, src[j*ng:(j+1)*ng])
-		op.ApplyReal(acc, srcReal)
-		c := make([]complex128, ng)
-		op.g.FromRealSerial(c, acc)
-		d := dst[j*ng : (j+1)*ng]
-		for s := range d {
-			d[s] += c[s]
+	if op.IsReference(src, nbands) {
+		op.ApplyToReference(dst)
+		return
+	}
+	nw := parallel.NumWorkers(nbands)
+	wss := op.ws.Acquire(nw)
+	if nw <= 1 {
+		// Serial fast path: no closure, no goroutines - this is the
+		// zero-allocation steady state the alloc test pins.
+		for j := 0; j < nbands; j++ {
+			op.applyBand(dst, src, j, wss[0])
 		}
-	})
+	} else {
+		parallel.ForWorker(nbands, func(w, j int) {
+			op.applyBand(dst, src, j, wss[w])
+		})
+	}
+	op.ws.Release(wss)
+}
+
+// applyBand computes band j of the generic application: real space, nb
+// fused contractions, back to the sphere, accumulate into dst.
+func (op *Operator) applyBand(dst, src []complex128, j int, ws *Workspace) {
+	ng := op.g.NG
+	op.g.ToRealSerialWS(ws.src, src[j*ng:(j+1)*ng], ws.fft)
+	for k := range ws.acc {
+		ws.acc[k] = 0
+	}
+	op.applyRealWS(ws.acc, ws.src, ws)
+	op.g.FromRealSerialWS(ws.sph, ws.acc, ws.fft)
+	d := dst[j*ng : (j+1)*ng]
+	for s := range d {
+		d[s] += ws.sph[s]
+	}
+}
+
+// ApplyToReference accumulates V_X applied to the operator's own reference
+// orbitals into dst (band-major sphere coefficients, nb x NG). It exploits
+// the conjugate-pair symmetry Poisson[phi_i* phi_j] = conj(Poisson[phi_j*
+// phi_i]) - the kernel is real and inversion-symmetric, so the Poisson
+// round trip is convolution with a real function - to run one solve per
+// unordered pair: nb(nb+1)/2 instead of nb^2. This is the dominant
+// exchange call of the PT-CN refresh, Energy and ACE construction.
+func (op *Operator) ApplyToReference(dst []complex128) {
+	nb, ng := op.nb, op.g.NG
+	if len(dst) != nb*ng {
+		panic("fock: ApplyToReference buffer size mismatch")
+	}
+	acc := op.acquireAcc()
+	nw := parallel.NumWorkers(nb)
+	wss := op.ws.Acquire(nw)
+	// Rounds are barriers: within one round no two pairs share a band, so
+	// both sides of each pair accumulate without locks, and the fixed
+	// round order keeps the floating-point accumulation deterministic.
+	if nw <= 1 {
+		// Serial fast path: no closures, no goroutines (zero-alloc).
+		for _, round := range op.rounds {
+			for t := range round {
+				op.contractPair(acc, round[t][0], round[t][1], wss[0])
+			}
+		}
+		for j := 0; j < nb; j++ {
+			op.gatherBand(dst, acc, j, wss[0])
+		}
+	} else {
+		for _, round := range op.rounds {
+			r := round
+			parallel.ForWorker(len(r), func(w, t int) {
+				op.contractPair(acc, r[t][0], r[t][1], wss[w])
+			})
+		}
+		parallel.ForWorker(nb, func(w, j int) {
+			op.gatherBand(dst, acc, j, wss[w])
+		})
+	}
+	op.ws.Release(wss)
+	op.releaseAcc(acc)
+}
+
+// contractPair performs the single Poisson solve of the unordered pair
+// (i, j) and accumulates both sides of the symmetry into the real-space
+// accumulators: acc_j += -alpha phi_i v and (for i != j)
+// acc_i += -alpha phi_j conj(v), with v = Poisson[phi_i^* phi_j].
+func (op *Operator) contractPair(acc []complex128, i, j int, ws *Workspace) {
+	ntot := op.g.NTot
+	a := complex(-op.alpha, 0)
+	phiI := op.phiReal[i*ntot : (i+1)*ntot]
+	phiJ := op.phiReal[j*ntot : (j+1)*ntot]
+	pair := ws.pair
+	for k := 0; k < ntot; k++ {
+		p := phiI[k]
+		pair[k] = complex(real(p), -imag(p)) * phiJ[k]
+	}
+	op.g.Plan.PoissonSerialWS(pair, op.kernel, ws.fft)
+	accJ := acc[j*ntot : (j+1)*ntot]
+	if i == j {
+		for k := 0; k < ntot; k++ {
+			accJ[k] += a * phiI[k] * pair[k]
+		}
+		return
+	}
+	accI := acc[i*ntot : (i+1)*ntot]
+	for k := 0; k < ntot; k++ {
+		v := pair[k]
+		accJ[k] += a * phiI[k] * v
+		accI[k] += a * phiJ[k] * complex(real(v), -imag(v))
+	}
+}
+
+// gatherBand projects real-space accumulator band j back onto the sphere
+// and adds it into dst (the accumulator is consumed).
+func (op *Operator) gatherBand(dst, acc []complex128, j int, ws *Workspace) {
+	ng, ntot := op.g.NG, op.g.NTot
+	op.g.FromRealSerialWS(ws.sph, acc[j*ntot:(j+1)*ntot], ws.fft)
+	d := dst[j*ng : (j+1)*ng]
+	for s := range d {
+		d[s] += ws.sph[s]
+	}
 }
 
 // Energy returns the exchange energy E_X = sum_j Re<psi_j|V_X psi_j> for a
 // band set (the spin factor 2 and the 1/2 double counting cancel for a
-// closed shell).
+// closed shell). The evaluation streams band by band through worker
+// workspaces - no nbands x NG buffer is formed - and when psi is the
+// operator's own reference set it uses the pair symmetry to halve the
+// Poisson solves.
 func (op *Operator) Energy(psi []complex128, nbands int) float64 {
 	ng := op.g.NG
-	vx := make([]complex128, nbands*ng)
-	op.Apply(vx, psi, nbands)
-	var e float64
-	for j := 0; j < nbands; j++ {
-		d := linalg.Dot(psi[j*ng:(j+1)*ng], vx[j*ng:(j+1)*ng])
-		e += real(d)
+	if len(psi) != nbands*ng {
+		panic("fock: Energy buffer size mismatch")
 	}
-	return e
+	if op.IsReference(psi, nbands) {
+		return op.energyReference()
+	}
+	// Generic path: per band, <psi_j|V_X psi_j> evaluated as the
+	// real-space inner product dV * sum_r conj(psi_j(r)) (V_X psi_j)(r),
+	// which equals the sphere-coefficient dot product by Parseval.
+	eband := make([]float64, nbands)
+	nw := parallel.NumWorkers(nbands)
+	wss := op.ws.Acquire(nw)
+	parallel.ForWorker(nbands, func(w, j int) {
+		ws := wss[w]
+		op.g.ToRealSerialWS(ws.src, psi[j*ng:(j+1)*ng], ws.fft)
+		for k := range ws.acc {
+			ws.acc[k] = 0
+		}
+		op.applyRealWS(ws.acc, ws.src, ws)
+		var s float64
+		for k := range ws.acc {
+			s += real(ws.src[k])*real(ws.acc[k]) + imag(ws.src[k])*imag(ws.acc[k])
+		}
+		eband[j] = s
+	})
+	op.ws.Release(wss)
+	var e float64
+	for _, v := range eband {
+		e += v
+	}
+	return e * op.g.DVWave()
+}
+
+// energyReference evaluates E_X on the reference set with one Poisson
+// solve per unordered pair: E_X = -alpha dV sum_{i<=j} w_ij Re sum_r
+// conj(rho_ij(r)) Poisson[rho_ij](r) with rho_ij = phi_i^* phi_j and
+// w_ij = 2 - delta_ij (the (j,i) term is the complex conjugate).
+func (op *Operator) energyReference() float64 {
+	ntot := op.g.NTot
+	epair := make([]float64, len(op.pairs))
+	nw := parallel.NumWorkers(len(op.pairs))
+	wss := op.ws.Acquire(nw)
+	parallel.ForWorker(len(op.pairs), func(w, t int) {
+		ws := wss[w]
+		i, j := op.pairs[t][0], op.pairs[t][1]
+		phiI := op.phiReal[i*ntot : (i+1)*ntot]
+		phiJ := op.phiReal[j*ntot : (j+1)*ntot]
+		pair, rho := ws.pair, ws.src
+		for k := 0; k < ntot; k++ {
+			p := phiI[k]
+			v := complex(real(p), -imag(p)) * phiJ[k]
+			pair[k] = v
+			rho[k] = v
+		}
+		op.g.Plan.PoissonSerialWS(pair, op.kernel, ws.fft)
+		var s float64
+		for k := 0; k < ntot; k++ {
+			s += real(rho[k])*real(pair[k]) + imag(rho[k])*imag(pair[k])
+		}
+		if i != j {
+			s *= 2
+		}
+		epair[t] = s
+	})
+	op.ws.Release(wss)
+	var e float64
+	for _, v := range epair {
+		e += v
+	}
+	return -op.alpha * op.g.DVWave() * e
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fock
+
+const raceEnabled = false

@@ -7,12 +7,20 @@
 //
 // Conventions: Forward computes X[k] = sum_j x[j] exp(-2*pi*i*j*k/N) with no
 // normalization; Inverse carries the 1/N factor so Inverse(Forward(x)) == x.
+//
+// Memory discipline: all per-transform scratch lives in plan-owned
+// Workspace objects. NewPlan precomputes every twiddle table the butterfly
+// passes read (one dense table per recursion level, so the hot loops index
+// sequentially with no modular arithmetic), and callers either hold an
+// explicit Workspace or draw one from the plan's sync.Pool - either way the
+// steady-state transform performs zero heap allocations.
 package fourier
 
 import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // maxDirectRadix is the largest prime handled by the O(r^2) generic
@@ -20,37 +28,105 @@ import (
 // whole transform through Bluestein.
 const maxDirectRadix = 61
 
-// Plan holds precomputed twiddle tables for a 1D transform of fixed length.
-// A Plan is immutable after creation and safe for concurrent use.
-type Plan struct {
-	n       int
-	factors []int        // prime factorization of n, ascending
-	tw      []complex128 // tw[j] = exp(-2*pi*i*j/n)
-	twInv   []complex128 // twInv[j] = exp(+2*pi*i*j/n)
-	blu     *bluestein   // non-nil when a prime factor exceeds maxDirectRadix
+// stage holds the precomputed combine tables for one level of the
+// decimation-in-time recursion: a length-n_l twiddle table indexed q*m+k
+// (replacing the (q*k*step) mod N lookups of a table-free implementation)
+// and the order-r roots of unity for the cross-output butterfly.
+type stage struct {
+	r, m     int
+	twF, twI []complex128 // tw[q*m+k] = exp(∓2*pi*i*q*k*step/N), len r*m
+	rootF    []complex128 // rootF[q] = exp(-2*pi*i*q/r), len r
+	rootI    []complex128
 }
 
-// NewPlan creates a transform plan for length n >= 1.
+// Plan holds precomputed twiddle tables for a 1D transform of fixed length.
+// A Plan is immutable after creation and safe for concurrent use; scratch
+// needed by the Bluestein fallback is checked out of a pool (or passed
+// explicitly as a Workspace), never allocated per call.
+type Plan struct {
+	n       int
+	factors []int   // prime factorization of n, ascending (4s merged)
+	stages  []stage // one entry per recursion level, top level first
+	blu     *bluestein
+	pool    sync.Pool // *Workspace
+}
+
+// Workspace is the per-call scratch of one 1D transform. Only plans that
+// fall back to Bluestein need backing storage; mixed-radix plans carry a
+// zero-cost empty workspace. A Workspace must not be shared between
+// concurrent transforms.
+type Workspace struct {
+	a, fa []complex128 // Bluestein convolution buffers, length blu.m
+}
+
+// NewWorkspace allocates the scratch one transform of this plan needs.
+func (p *Plan) NewWorkspace() *Workspace {
+	ws := &Workspace{}
+	if p.blu != nil {
+		ws.a = make([]complex128, p.blu.m)
+		ws.fa = make([]complex128, p.blu.m)
+	}
+	return ws
+}
+
+func (p *Plan) getWS() *Workspace   { return p.pool.Get().(*Workspace) }
+func (p *Plan) putWS(ws *Workspace) { p.pool.Put(ws) }
+
+// NewPlan creates a transform plan for length n >= 1. All setup work -
+// factorization, per-level twiddle tables, Bluestein kernels - happens
+// here; the transform itself reads precomputed tables only.
 func NewPlan(n int) (*Plan, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fourier: transform length %d < 1", n)
 	}
 	p := &Plan{n: n, factors: mergeRadix4(factorize(n))}
-	p.tw = make([]complex128, n)
-	p.twInv = make([]complex128, n)
-	for j := 0; j < n; j++ {
-		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
-		p.tw[j] = complex(c, s)
-		p.twInv[j] = complex(c, -s)
-	}
 	if len(p.factors) > 0 && p.factors[len(p.factors)-1] > maxDirectRadix {
 		b, err := newBluestein(n)
 		if err != nil {
 			return nil, err
 		}
 		p.blu = b
+	} else {
+		p.buildStages()
 	}
+	p.pool.New = func() any { return p.NewWorkspace() }
 	return p, nil
+}
+
+// buildStages tabulates the combine twiddles for every recursion level.
+// Level l transforms length n_l = n / prod(r_0..r_{l-1}), splitting off
+// r_l = the largest remaining factor; its table twF[q*m+k] equals the
+// global twiddle exp(-2*pi*i*q*k*step/N) with step = N/n_l.
+func (p *Plan) buildStages() {
+	n := p.n
+	rem := append([]int(nil), p.factors...)
+	nl := n
+	for len(rem) > 0 {
+		r := rem[len(rem)-1]
+		rem = rem[:len(rem)-1]
+		m := nl / r
+		st := stage{
+			r: r, m: m,
+			twF:   make([]complex128, nl),
+			twI:   make([]complex128, nl),
+			rootF: make([]complex128, r),
+			rootI: make([]complex128, r),
+		}
+		step := n / nl
+		for q := 0; q < r; q++ {
+			for k := 0; k < m; k++ {
+				e := (q * k * step) % n
+				s, c := math.Sincos(-2 * math.Pi * float64(e) / float64(n))
+				st.twF[q*m+k] = complex(c, s)
+				st.twI[q*m+k] = complex(c, -s)
+			}
+			s, c := math.Sincos(-2 * math.Pi * float64(q) / float64(r))
+			st.rootF[q] = complex(c, s)
+			st.rootI[q] = complex(c, -s)
+		}
+		p.stages = append(p.stages, st)
+		nl = m
+	}
 }
 
 // MustPlan is NewPlan that panics on error; for use with known-good sizes.
@@ -81,7 +157,21 @@ func (p *Plan) Inverse(dst, src []complex128) {
 	}
 }
 
+// transform is TransformWS with pool-backed scratch.
 func (p *Plan) transform(dst, src []complex128, inverse bool) {
+	if p.blu == nil {
+		p.TransformWS(dst, src, inverse, nil)
+		return
+	}
+	ws := p.getWS()
+	p.TransformWS(dst, src, inverse, ws)
+	p.putWS(ws)
+}
+
+// TransformWS runs one unnormalized transform using the caller's
+// workspace. ws may be nil for mixed-radix plans (no scratch needed); plans
+// with a Bluestein fallback require a workspace from NewWorkspace.
+func (p *Plan) TransformWS(dst, src []complex128, inverse bool, ws *Workspace) {
 	if len(dst) != p.n || len(src) != p.n {
 		panic(fmt.Sprintf("fourier: buffer length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src)))
 	}
@@ -90,62 +180,62 @@ func (p *Plan) transform(dst, src []complex128, inverse bool) {
 		return
 	}
 	if p.blu != nil {
-		p.blu.transform(dst, src, inverse)
+		if ws == nil || ws.a == nil {
+			ws = p.getWS()
+			p.blu.transform(dst, src, inverse, ws)
+			p.putWS(ws)
+			return
+		}
+		p.blu.transform(dst, src, inverse, ws)
 		return
 	}
-	tw := p.tw
-	if inverse {
-		tw = p.twInv
-	}
-	p.recurse(dst, src, p.n, 1, tw, p.factors)
+	p.recurse(dst, src, 1, 0, inverse)
 }
 
-// recurse performs a decimation-in-time mixed-radix step: it splits length n
-// into r sub-transforms of length m = n/r reading src with stride, then
-// combines them in place in dst. tw is the full-length twiddle table; the
-// roots of unity of any sub-length divide the top-level table evenly.
-func (p *Plan) recurse(dst, src []complex128, n, stride int, tw []complex128, factors []int) {
-	if n == 1 {
+// recurse performs the decimation-in-time mixed-radix step at recursion
+// depth d: split into r sub-transforms of length m reading src with stride,
+// then combine in place in dst using the stage's precomputed tables.
+func (p *Plan) recurse(dst, src []complex128, stride, d int, inverse bool) {
+	if d == len(p.stages) {
 		dst[0] = src[0]
 		return
 	}
-	r := factors[len(factors)-1] // split off the largest factor for shallow recursion
-	m := n / r
-	sub := factors[:len(factors)-1]
+	st := &p.stages[d]
+	r, m := st.r, st.m
 	for q := 0; q < r; q++ {
-		p.recurse(dst[q*m:(q+1)*m], src[q*stride:], m, stride*r, tw, sub)
+		p.recurse(dst[q*m:(q+1)*m], src[q*stride:], stride*r, d+1, inverse)
 	}
-	// Combine: X[k + p*m] = sum_q tw_n^{q*k} * tw_r^{q*p} * F_q[k].
-	step := p.n / n  // maps exponents mod n onto the length-N table
-	rstep := p.n / r // maps exponents mod r onto the length-N table
-	var t [maxDirectRadix]complex128
+	tw, root := st.twF, st.rootF
+	if inverse {
+		tw, root = st.twI, st.rootI
+	}
+	// Combine: X[k + p*m] = sum_q tw[q*m+k] * root[(q*p) mod r] * F_q[k].
 	switch r {
 	case 2:
 		for k := 0; k < m; k++ {
 			a := dst[k]
-			b := dst[m+k] * tw[k*step]
+			b := dst[m+k] * tw[m+k]
 			dst[k] = a + b
 			dst[m+k] = a - b
 		}
 	case 3:
-		w1 := tw[rstep]
-		w2 := tw[2*rstep]
+		w1, w2 := root[1], root[2]
 		for k := 0; k < m; k++ {
 			a := dst[k]
-			b := dst[m+k] * tw[k*step]
-			c := dst[2*m+k] * tw[(2*k*step)%p.n]
+			b := dst[m+k] * tw[m+k]
+			c := dst[2*m+k] * tw[2*m+k]
 			dst[k] = a + b + c
 			dst[m+k] = a + b*w1 + c*w2
 			dst[2*m+k] = a + b*w2 + c*w1
 		}
 	case 4:
-		// i factor differs between forward and inverse tables; read it from tw.
-		j := tw[rstep] // -i forward, +i inverse
+		// root[1] is -i forward, +i inverse.
+		j := root[1]
 		for k := 0; k < m; k++ {
 			a := dst[k]
-			b := dst[m+k] * tw[k*step]
-			c := dst[2*m+k] * tw[(2*k*step)%p.n]
-			d := dst[3*m+k] * tw[(3*k*step)%p.n]
+			b := dst[m+k] * tw[m+k]
+			c := dst[2*m+k] * tw[2*m+k]
+			d := dst[3*m+k] * tw[3*m+k]
 			apc, amc := a+c, a-c
 			bpd, bmd := b+d, (b-d)*j
 			dst[k] = apc + bpd
@@ -154,14 +244,20 @@ func (p *Plan) recurse(dst, src []complex128, n, stride int, tw []complex128, fa
 			dst[3*m+k] = amc - bmd
 		}
 	default:
+		var t [maxDirectRadix]complex128
 		for k := 0; k < m; k++ {
 			for q := 0; q < r; q++ {
-				t[q] = dst[q*m+k] * tw[(q*k*step)%p.n]
+				t[q] = dst[q*m+k] * tw[q*m+k]
 			}
 			for pp := 0; pp < r; pp++ {
 				acc := t[0]
+				idx := 0
 				for q := 1; q < r; q++ {
-					acc += t[q] * tw[(q*pp*rstep)%p.n]
+					idx += pp
+					if idx >= r {
+						idx -= r
+					}
+					acc += t[q] * root[idx]
 				}
 				dst[pp*m+k] = acc
 			}
@@ -240,12 +336,16 @@ func NextFast(n int) int {
 }
 
 // bluestein implements the chirp-z transform for arbitrary lengths via a
-// power-of-two convolution.
+// power-of-two convolution. Its two convolution buffers live in the
+// caller's Workspace, so repeated transforms allocate nothing.
 type bluestein struct {
 	n     int
 	m     int // power-of-two convolution length >= 2n-1
 	inner *Plan
-	chirp []complex128 // chirp[j] = exp(-i*pi*j^2/n), j in [0, n)
+	// chirpF / chirpI are the pre/post multipliers exp(∓i*pi*j^2/n) for the
+	// forward and inverse transforms.
+	chirpF []complex128
+	chirpI []complex128
 	// kernelF / kernelB are the precomputed forward FFTs of the padded
 	// conjugate-chirp sequences for the forward and inverse transforms.
 	kernelF []complex128
@@ -262,16 +362,18 @@ func newBluestein(n int) (*bluestein, error) {
 		return nil, err
 	}
 	b := &bluestein{n: n, m: m, inner: inner}
-	b.chirp = make([]complex128, n)
+	b.chirpF = make([]complex128, n)
+	b.chirpI = make([]complex128, n)
 	for j := 0; j < n; j++ {
 		// j^2 mod 2n keeps the argument bounded for large n.
 		e := float64((j * j) % (2 * n))
-		b.chirp[j] = cmplx.Exp(complex(0, -math.Pi*e/float64(n)))
+		b.chirpF[j] = cmplx.Exp(complex(0, -math.Pi*e/float64(n)))
+		b.chirpI[j] = cmplx.Conj(b.chirpF[j])
 	}
 	mk := func(conjugate bool) []complex128 {
 		seq := make([]complex128, m)
 		for j := 0; j < n; j++ {
-			c := b.chirp[j]
+			c := b.chirpF[j]
 			if conjugate {
 				c = cmplx.Conj(c)
 			}
@@ -290,29 +392,24 @@ func newBluestein(n int) (*bluestein, error) {
 	return b, nil
 }
 
-func (b *bluestein) transform(dst, src []complex128, inverse bool) {
-	chirpAt := func(j int) complex128 {
-		c := b.chirp[j]
-		if inverse {
-			c = cmplx.Conj(c)
-		}
-		return c
-	}
-	kernel := b.kernelF
+func (b *bluestein) transform(dst, src []complex128, inverse bool, ws *Workspace) {
+	chirp, kernel := b.chirpF, b.kernelF
 	if inverse {
-		kernel = b.kernelB
+		chirp, kernel = b.chirpI, b.kernelB
 	}
-	a := make([]complex128, b.m)
+	a, fa := ws.a, ws.fa
 	for j := 0; j < b.n; j++ {
-		a[j] = src[j] * chirpAt(j)
+		a[j] = src[j] * chirp[j]
 	}
-	fa := make([]complex128, b.m)
+	for j := b.n; j < b.m; j++ {
+		a[j] = 0
+	}
 	b.inner.Forward(fa, a)
 	for i := range fa {
 		fa[i] *= kernel[i]
 	}
 	b.inner.Inverse(a, fa)
 	for k := 0; k < b.n; k++ {
-		dst[k] = a[k] * chirpAt(k)
+		dst[k] = a[k] * chirp[k]
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fourier
+
+const raceEnabled = false

@@ -1,0 +1,150 @@
+package fourier
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randGrid(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// The workspace-threaded serial path must agree with the pooled one for
+// mixed-radix and Bluestein axis sizes alike (67 is prime > maxDirectRadix).
+func TestApplySerialWSMatchesApplySerial(t *testing.T) {
+	for _, dims := range [][3]int{{8, 9, 10}, {4, 67, 3}, {5, 5, 5}} {
+		p := MustPlan3(dims[0], dims[1], dims[2])
+		src := randGrid(p.Size(), 1)
+		want := make([]complex128, p.Size())
+		got := make([]complex128, p.Size())
+		ws := p.NewWorkspace()
+		for _, inverse := range []bool{false, true} {
+			p.ApplySerial(want, src, inverse)
+			p.ApplySerialWS(got, src, inverse, ws)
+			if d := maxAbsDiff(want, got); d > 1e-12 {
+				t.Errorf("dims %v inverse=%v: WS path differs by %g", dims, inverse, d)
+			}
+		}
+	}
+}
+
+// RawSerialWS is the unnormalized core: inverse must equal ApplySerial
+// scaled back up by N.
+func TestRawSerialWSUnnormalized(t *testing.T) {
+	p := MustPlan3(6, 5, 4)
+	n := p.Size()
+	src := randGrid(n, 2)
+	norm := make([]complex128, n)
+	raw := make([]complex128, n)
+	p.ApplySerial(norm, src, true)
+	ws := p.NewWorkspace()
+	p.RawSerialWS(raw, src, true, ws)
+	scale := complex(float64(n), 0)
+	for i := range norm {
+		if d := cmplx.Abs(raw[i] - norm[i]*scale); d > 1e-9 {
+			t.Fatalf("raw inverse differs at %d by %g", i, d)
+		}
+	}
+}
+
+// The fused Poisson round trip must equal the unfused Forward + pointwise
+// kernel multiply + normalized Inverse sequence.
+func TestPoissonSerialMatchesManual(t *testing.T) {
+	for _, dims := range [][3]int{{8, 9, 10}, {4, 67, 3}} {
+		p := MustPlan3(dims[0], dims[1], dims[2])
+		n := p.Size()
+		rng := rand.New(rand.NewSource(3))
+		kernel := make([]float64, n)
+		for i := range kernel {
+			kernel[i] = rng.Float64() + 0.1
+		}
+		src := randGrid(n, 4)
+
+		want := make([]complex128, n)
+		p.ApplySerial(want, src, false)
+		for i := range want {
+			want[i] *= complex(kernel[i], 0)
+		}
+		p.ApplySerial(want, want, true)
+
+		got := append([]complex128(nil), src...)
+		p.PoissonSerial(got, kernel)
+		if d := maxAbsDiff(want, got); d > 1e-9 {
+			t.Errorf("dims %v: fused Poisson differs by %g", dims, d)
+		}
+	}
+}
+
+// The fully fused contraction must equal the spelled-out pair product,
+// Poisson solve, and accumulation.
+func TestContractSerialMatchesManual(t *testing.T) {
+	p := MustPlan3(6, 9, 5)
+	n := p.Size()
+	rng := rand.New(rand.NewSource(5))
+	kernel := make([]float64, n)
+	for i := range kernel {
+		kernel[i] = rng.Float64() + 0.1
+	}
+	phi := randGrid(n, 6)
+	src := randGrid(n, 7)
+	scale := complex(-0.25, 0)
+
+	pair := make([]complex128, n)
+	for k := range pair {
+		pair[k] = cmplx.Conj(phi[k]) * src[k]
+	}
+	p.PoissonSerial(pair, kernel)
+	want := randGrid(n, 8) // nonzero start: Contract accumulates
+	got := append([]complex128(nil), want...)
+	for k := range want {
+		want[k] += scale * phi[k] * pair[k]
+	}
+
+	ws := p.NewWorkspace()
+	buf := make([]complex128, n)
+	p.ContractSerialWS(got, phi, src, buf, kernel, scale, ws)
+	if d := maxAbsDiff(want, got); d > 1e-9 {
+		t.Errorf("fused contraction differs by %g", d)
+	}
+}
+
+// The plan-owned scratch makes the steady-state serial transforms
+// allocation-free, including the Bluestein fallback and the fused paths.
+func TestSerialTransformAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	for _, dims := range [][3]int{{8, 9, 10}, {4, 67, 3}} {
+		p := MustPlan3(dims[0], dims[1], dims[2])
+		n := p.Size()
+		kernel := make([]float64, n)
+		for i := range kernel {
+			kernel[i] = 1
+		}
+		buf := randGrid(n, 9)
+		dst := make([]complex128, n)
+		phi := randGrid(n, 10)
+		ws := p.NewWorkspace()
+		pairBuf := make([]complex128, n)
+		// Warm the pool, then demand zero steady-state allocations.
+		p.ApplySerial(dst, buf, true)
+		p.PoissonSerial(buf, kernel)
+		if a := testing.AllocsPerRun(10, func() { p.ApplySerial(dst, buf, false) }); a > 0 {
+			t.Errorf("dims %v: ApplySerial allocates %v per run", dims, a)
+		}
+		if a := testing.AllocsPerRun(10, func() { p.PoissonSerial(buf, kernel) }); a > 0 {
+			t.Errorf("dims %v: PoissonSerial allocates %v per run", dims, a)
+		}
+		if a := testing.AllocsPerRun(10, func() {
+			p.ContractSerialWS(dst, phi, buf, pairBuf, kernel, 1, ws)
+		}); a > 0 {
+			t.Errorf("dims %v: ContractSerialWS allocates %v per run", dims, a)
+		}
+	}
+}

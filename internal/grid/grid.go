@@ -218,30 +218,49 @@ func (g *Grid) FromReal(c []complex128, box []complex128) {
 }
 
 // ToRealSerial is ToReal without worker-pool parallelism, for callers that
-// run many transforms concurrently (one band per goroutine).
+// run many transforms concurrently (one band per goroutine). FFT scratch
+// comes from the plan's pool; steady state allocates nothing.
 func (g *Grid) ToRealSerial(box []complex128, c []complex128) {
+	ws := g.Plan.CheckoutWorkspace()
+	g.ToRealSerialWS(box, c, ws)
+	g.Plan.ReturnWorkspace(ws)
+}
+
+// ToRealSerialWS is ToRealSerial with caller-owned FFT scratch (from
+// Plan.NewWorkspace), for hot loops that bind one workspace per worker.
+// The 1/sqrt(Omega) normalization is folded into the sphere scatter and the
+// synthesis runs unnormalized, avoiding two extra passes over the box.
+func (g *Grid) ToRealSerialWS(box []complex128, c []complex128, ws *fourier.Workspace3) {
 	if len(box) != g.NTot || len(c) != g.NG {
 		panic("grid: ToRealSerial buffer size mismatch")
 	}
 	for i := range box {
 		box[i] = 0
 	}
+	scale := complex(1/math.Sqrt(g.Volume()), 0)
 	for s, k := range g.SphereIdx {
-		box[k] = c[s]
+		box[k] = c[s] * scale
 	}
-	g.Plan.ApplySerial(box, box, true)
-	scale := complex(float64(g.NTot)/math.Sqrt(g.Volume()), 0)
-	for i := range box {
-		box[i] *= scale
-	}
+	// Unnormalized exp(+iG.r) synthesis; the usual 1/N of the inverse and
+	// the N of the synthesis cancel.
+	g.Plan.RawSerialWS(box, box, true, ws)
 }
 
 // FromRealSerial is FromReal without worker-pool parallelism.
 func (g *Grid) FromRealSerial(c []complex128, box []complex128) {
+	ws := g.Plan.CheckoutWorkspace()
+	g.FromRealSerialWS(c, box, ws)
+	g.Plan.ReturnWorkspace(ws)
+}
+
+// FromRealSerialWS is FromRealSerial with caller-owned FFT scratch. The
+// sqrt(Omega)/N normalization is applied only on the NG sphere entries
+// during the gather, never as a full-box pass.
+func (g *Grid) FromRealSerialWS(c []complex128, box []complex128, ws *fourier.Workspace3) {
 	if len(box) != g.NTot || len(c) != g.NG {
 		panic("grid: FromRealSerial buffer size mismatch")
 	}
-	g.Plan.ApplySerial(box, box, false)
+	g.Plan.RawSerialWS(box, box, false, ws)
 	scale := complex(math.Sqrt(g.Volume())/float64(g.NTot), 0)
 	for s, k := range g.SphereIdx {
 		c[s] = box[k] * scale

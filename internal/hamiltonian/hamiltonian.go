@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"ptdft/internal/fock"
+	"ptdft/internal/fourier"
 	"ptdft/internal/grid"
 	"ptdft/internal/linalg"
 	"ptdft/internal/parallel"
@@ -48,6 +49,26 @@ type Hamiltonian struct {
 
 	// Energy bookkeeping from the last UpdatePotential call.
 	PotEnergies potential.Energies
+
+	// Per-worker apply scratch, recycled across Apply/TotalEnergy calls.
+	scratch parallel.ScratchPool[*applyScratch]
+}
+
+// applyScratch is the per-worker scratch of one band application: the two
+// real-space boxes, a sphere-coefficient vector and the FFT line scratch.
+type applyScratch struct {
+	box, vbox []complex128
+	c         []complex128
+	fws       *fourier.Workspace3
+}
+
+func (h *Hamiltonian) newScratch() *applyScratch {
+	return &applyScratch{
+		box:  make([]complex128, h.G.NTot),
+		vbox: make([]complex128, h.G.NTot),
+		c:    make([]complex128, h.G.NG),
+		fws:  h.G.Plan.NewWorkspace(),
+	}
 }
 
 // Config selects the functional and discretization options.
@@ -78,6 +99,7 @@ func New(g *grid.Grid, pots map[int]*pseudo.Potential, cfg Config) *Hamiltonian 
 		vlocDense: potential.BuildVloc(g, pots),
 	}
 	h.veffWave = make([]float64, g.NTot)
+	h.scratch.New = h.newScratch
 	return h
 }
 
@@ -170,14 +192,17 @@ func (h *Hamiltonian) KineticFactor(s int) float64 {
 }
 
 // applyOne computes dst = H src for a single band of sphere coefficients,
-// using caller-provided scratch buffers of length NTot. No worker-pool
-// parallelism: callers parallelize over bands.
-func (h *Hamiltonian) applyOne(dst, src []complex128, box, vbox []complex128) {
+// using caller-provided scratch. No worker-pool parallelism: callers
+// parallelize over bands. withFock selects whether the exchange is folded
+// in per band here; Apply clears it when the whole band set is the Fock
+// reference and the symmetry-halved ApplyToReference runs instead.
+func (h *Hamiltonian) applyOne(dst, src []complex128, sc *applyScratch, withFock bool) {
 	ng := h.G.NG
 	for s := 0; s < ng; s++ {
 		dst[s] = complex(h.KineticFactor(s), 0) * src[s]
 	}
-	h.G.ToRealSerial(box, src)
+	box, vbox := sc.box, sc.vbox
+	h.G.ToRealSerialWS(box, src, sc.fws)
 	for k := range vbox {
 		vbox[k] = complex(h.veffWave[k], 0) * box[k]
 	}
@@ -186,29 +211,37 @@ func (h *Hamiltonian) applyOne(dst, src []complex128, box, vbox []complex128) {
 	} else {
 		h.NL.Apply(vbox, box)
 	}
-	if h.hybrid && h.fockOp != nil && !h.useACE {
+	if withFock {
 		h.fockOp.ApplyReal(vbox, box)
 	}
-	c := make([]complex128, ng)
-	h.G.FromRealSerial(c, vbox)
+	h.G.FromRealSerialWS(sc.c, vbox, sc.fws)
 	for s := 0; s < ng; s++ {
-		dst[s] += c[s]
+		dst[s] += sc.c[s]
 	}
 }
 
 // Apply computes dst = H src for nb band-major sphere-coefficient bands,
-// parallelizing over bands. dst and src must not alias.
+// parallelizing over bands with one scratch workspace per worker. dst and
+// src must not alias. When the hybrid exchange acts on its own reference
+// set - the PT-CN refresh, where SetFockOrbitals(psi) is followed by
+// Apply(_, psi) - the Fock term runs through the symmetry-halved
+// fock.Operator.ApplyToReference instead of nb^2 per-band solves.
 func (h *Hamiltonian) Apply(dst, src []complex128, nb int) {
 	ng := h.G.NG
 	if len(dst) != nb*ng || len(src) != nb*ng {
 		panic("hamiltonian: Apply buffer size mismatch")
 	}
-	ntot := h.G.NTot
-	parallel.For(nb, func(j int) {
-		box := make([]complex128, ntot)
-		vbox := make([]complex128, ntot)
-		h.applyOne(dst[j*ng:(j+1)*ng], src[j*ng:(j+1)*ng], box, vbox)
+	fockReal := h.hybrid && h.fockOp != nil && !h.useACE
+	fused := fockReal && h.fockOp.IsReference(src, nb)
+	nw := parallel.NumWorkers(nb)
+	wss := h.scratch.Acquire(nw)
+	parallel.ForWorker(nb, func(w, j int) {
+		h.applyOne(dst[j*ng:(j+1)*ng], src[j*ng:(j+1)*ng], wss[w], fockReal && !fused)
 	})
+	h.scratch.Release(wss)
+	if fused {
+		h.fockOp.ApplyToReference(dst)
+	}
 	if h.hybrid && h.useACE && h.ace != nil {
 		h.ace.Apply(dst, src, nb)
 	}
@@ -236,22 +269,23 @@ func (e EnergyBreakdown) Total() float64 {
 // that the Hartree/XC/local bookkeeping matches rho.
 func (h *Hamiltonian) TotalEnergy(psi []complex128, nb int, occ float64) EnergyBreakdown {
 	ng := h.G.NG
-	ntot := h.G.NTot
 	var ekin, enl float64
 	var mu parallelSum
-	parallel.For(nb, func(j int) {
+	wss := h.scratch.Acquire(parallel.NumWorkers(nb))
+	parallel.ForWorker(nb, func(w, j int) {
 		c := psi[j*ng : (j+1)*ng]
 		var k float64
 		for s := 0; s < ng; s++ {
 			v := c[s]
 			k += h.KineticFactor(s) * (real(v)*real(v) + imag(v)*imag(v))
 		}
-		box := make([]complex128, ntot)
-		h.G.ToRealSerial(box, c)
-		nl := h.NL.Energy(box)
+		sc := wss[w]
+		h.G.ToRealSerialWS(sc.box, c, sc.fws)
+		nl := h.NL.Energy(sc.box)
 		mu.add(&ekin, occ*k)
 		mu.add(&enl, occ*nl)
 	})
+	h.scratch.Release(wss)
 	eb := EnergyBreakdown{
 		Kinetic:  ekin,
 		Nonlocal: enl,

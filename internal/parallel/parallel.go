@@ -67,6 +67,55 @@ func For(n int, f func(i int)) {
 	wg.Wait()
 }
 
+// NumWorkers reports how many workers For and ForWorker would launch for an
+// n-iteration loop: min(MaxWorkers, n), and at least 1. Callers that bind
+// one scratch workspace per worker size their workspace table with it.
+func NumWorkers(n int) int {
+	w := MaxWorkers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForWorker is For with a stable worker identity: f(worker, i) runs for
+// every i in [0, n), and all invocations with the same worker index execute
+// sequentially on the same goroutine, with worker in [0, NumWorkers(n)).
+// This lets callers bind one preallocated workspace (FFT scratch, pair
+// buffers) per worker instead of allocating per iteration - the hot-path
+// memory discipline of the Fock exchange.
+func ForWorker(n int, f func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := NumWorkers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 // ForBlock runs f(lo, hi) over contiguous chunks that partition [0, n).
 // It is preferred over For when per-iteration work is tiny (point-wise
 // array kernels) so that each worker touches a contiguous range.

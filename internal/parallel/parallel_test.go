@@ -62,6 +62,60 @@ func TestSetMaxWorkers(t *testing.T) {
 	}
 }
 
+func TestForWorkerCoversAllIndices(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(4)) // force real goroutine fan-out
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		nw := NumWorkers(n)
+		ForWorker(n, func(w, i int) {
+			if w < 0 || w >= nw {
+				t.Errorf("worker index %d out of range [0,%d)", w, nw)
+			}
+			if seen[i].Swap(true) {
+				t.Errorf("index %d visited twice", i)
+			}
+			hits.Add(1)
+		})
+		if int(hits.Load()) != n {
+			t.Errorf("n=%d: %d iterations executed", n, hits.Load())
+		}
+	}
+}
+
+// The per-worker serialization contract: two iterations on the same worker
+// index must never overlap in time, so worker-bound scratch needs no locks.
+func TestForWorkerSerializesPerWorker(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(4))
+	n := 500
+	nw := NumWorkers(n)
+	busy := make([]atomic.Bool, nw)
+	var violations atomic.Int64
+	ForWorker(n, func(w, i int) {
+		if busy[w].Swap(true) {
+			violations.Add(1)
+		}
+		for k := 0; k < 100; k++ {
+			_ = k * k
+		}
+		busy[w].Store(false)
+	})
+	if violations.Load() != 0 {
+		t.Errorf("%d overlapping executions on the same worker", violations.Load())
+	}
+}
+
+func TestNumWorkersBounds(t *testing.T) {
+	orig := MaxWorkers()
+	defer SetMaxWorkers(orig)
+	SetMaxWorkers(4)
+	for _, tc := range []struct{ n, want int }{{0, 1}, {1, 1}, {3, 3}, {4, 4}, {100, 4}} {
+		if got := NumWorkers(tc.n); got != tc.want {
+			t.Errorf("NumWorkers(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
 func TestForConcurrentResultsDeterministic(t *testing.T) {
 	// Work writing to disjoint slots must produce identical results
 	// regardless of scheduling.

@@ -1,0 +1,59 @@
+package parallel
+
+import "sync"
+
+// ScratchPool recycles per-worker scratch for ForWorker loops. T should be
+// a pointer type; New builds one workspace. Acquire hands out a table of n
+// workspaces and Release returns it - both the workspaces and the table
+// itself are recycled, so sequential acquire/release cycles allocate
+// nothing in steady state. Concurrent acquirers never block and never
+// share scratch: a second caller simply builds a transient table
+// (correctness first, recycling for the steady state). Get/Put serve
+// single-workspace callers from the same pool.
+type ScratchPool[T any] struct {
+	// New builds one workspace; must be set before first use.
+	New func() T
+
+	pool sync.Pool
+	mu   sync.Mutex
+	tab  []T
+}
+
+// Acquire returns a table of n workspaces, one per worker index.
+func (p *ScratchPool[T]) Acquire(n int) []T {
+	p.mu.Lock()
+	t := p.tab
+	p.tab = nil
+	p.mu.Unlock()
+	if cap(t) < n {
+		t = make([]T, 0, n)
+	}
+	t = t[:0]
+	for i := 0; i < n; i++ {
+		t = append(t, p.Get())
+	}
+	return t
+}
+
+// Release returns an Acquire table and its workspaces to the pool.
+func (p *ScratchPool[T]) Release(t []T) {
+	for _, ws := range t {
+		p.pool.Put(ws)
+	}
+	p.mu.Lock()
+	if cap(p.tab) < cap(t) {
+		p.tab = t[:0]
+	}
+	p.mu.Unlock()
+}
+
+// Get checks out a single workspace.
+func (p *ScratchPool[T]) Get() T {
+	if ws, ok := p.pool.Get().(T); ok {
+		return ws
+	}
+	return p.New()
+}
+
+// Put returns a single workspace to the pool.
+func (p *ScratchPool[T]) Put(ws T) { p.pool.Put(ws) }

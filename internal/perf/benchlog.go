@@ -1,0 +1,183 @@
+// Benchmark trajectory recording: the BENCH_*.json files that pin the
+// repository's measured performance over time. Each recorded benchmark
+// appends (or updates) one BenchRecord keyed by (name, label), so the file
+// accumulates a trajectory - the pre-optimization baseline, each PR's
+// numbers, CI runs - that future changes are held against (the ROADMAP's
+// "as fast as the hardware allows" is enforceable only if regressions are
+// visible).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// BenchRecord is one benchmark measurement at one point of the trajectory.
+type BenchRecord struct {
+	// Name is the Go benchmark name (e.g. "BenchmarkFockApplyReference").
+	Name string `json:"name"`
+	// Label identifies the trajectory point: a PR tag, "ci", a local
+	// experiment. (name, label) is the upsert key.
+	Label string `json:"label"`
+	// NsPerOp is the measured wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp counts heap allocations per operation; negative means
+	// not measured.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Grid is the wavefunction FFT box of the benchmark system.
+	Grid [3]int `json:"grid"`
+	// NB is the number of bands (reference orbitals) involved.
+	NB int `json:"nb"`
+	// Workers is the parallel worker bound the benchmark ran under.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BenchFile is the on-disk trajectory: a flat record list, kept sorted by
+// (name, label) for stable diffs.
+type BenchFile struct {
+	Records []BenchRecord `json:"records"`
+}
+
+// BenchLabel resolves the trajectory label for new records: the
+// PTDFT_BENCH_LABEL environment variable, or "local".
+func BenchLabel() string {
+	if l := os.Getenv("PTDFT_BENCH_LABEL"); l != "" {
+		return l
+	}
+	return "local"
+}
+
+// DefaultBenchPath resolves file against the module root (the nearest
+// parent directory of the working directory containing go.mod), so
+// benchmarks in any package write the same trajectory file. Falls back to
+// the working directory when no go.mod is found.
+func DefaultBenchPath(file string) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return file
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return filepath.Join(d, file)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return filepath.Join(dir, file)
+		}
+		d = parent
+	}
+}
+
+// RecordBench upserts rec into the trajectory file at path: an existing
+// record with the same (name, label) is replaced, anything else is
+// preserved. The read-modify-write runs under an O_EXCL lock file so test
+// binaries of different packages recording concurrently cannot drop each
+// other's records, and the write itself is atomic (temp file + rename).
+func RecordBench(path string, rec BenchRecord) error {
+	if rec.Name == "" {
+		return fmt.Errorf("perf: benchmark record needs a name")
+	}
+	unlock, err := lockFile(path + ".lock")
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	var bf BenchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return fmt.Errorf("perf: corrupt bench file %s: %w", path, err)
+		}
+	}
+	replaced := false
+	for i := range bf.Records {
+		if bf.Records[i].Name == rec.Name && bf.Records[i].Label == rec.Label {
+			bf.Records[i] = rec
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		bf.Records = append(bf.Records, rec)
+	}
+	sort.SliceStable(bf.Records, func(i, j int) bool {
+		if bf.Records[i].Name != bf.Records[j].Name {
+			return bf.Records[i].Name < bf.Records[j].Name
+		}
+		return bf.Records[i].Label < bf.Records[j].Label
+	})
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// lockFile acquires an exclusive advisory lock by creating path with
+// O_EXCL, retrying briefly; a stale lock older than the timeout is broken.
+func lockFile(path string) (func(), error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			// Assume a crashed holder left the lock behind.
+			os.Remove(path)
+			continue
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// RecordMeasurement is the one-call form benchmarks use: it assembles the
+// record (label from PTDFT_BENCH_LABEL, path resolved against the module
+// root) and upserts it into the trajectory file.
+func RecordMeasurement(file, name string, nsPerOp, allocsPerOp float64, gridDims [3]int, nb, workers int) error {
+	return RecordBench(DefaultBenchPath(file), BenchRecord{
+		Name:        name,
+		Label:       BenchLabel(),
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: allocsPerOp,
+		Grid:        gridDims,
+		NB:          nb,
+		Workers:     workers,
+	})
+}
+
+// LoadBench reads a trajectory file; a missing file yields an empty
+// trajectory.
+func LoadBench(path string) (BenchFile, error) {
+	var bf BenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return bf, nil
+		}
+		return bf, err
+	}
+	err = json.Unmarshal(data, &bf)
+	return bf, err
+}
+
+// Find returns the record with the given name and label, if present.
+func (bf BenchFile) Find(name, label string) (BenchRecord, bool) {
+	for _, r := range bf.Records {
+		if r.Name == name && r.Label == label {
+			return r, true
+		}
+	}
+	return BenchRecord{}, false
+}

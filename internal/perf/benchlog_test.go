@@ -1,0 +1,58 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordBenchUpsertAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	recs := []BenchRecord{
+		{Name: "BenchmarkFockB", Label: "pr2", NsPerOp: 100, AllocsPerOp: 3, Grid: [3]int{9, 9, 9}, NB: 4},
+		{Name: "BenchmarkFockA", Label: "pr2", NsPerOp: 50, AllocsPerOp: 0, Grid: [3]int{9, 9, 9}, NB: 4},
+		{Name: "BenchmarkFockA", Label: "baseline", NsPerOp: 200, AllocsPerOp: 175, Grid: [3]int{9, 9, 9}, NB: 4},
+	}
+	for _, r := range recs {
+		if err := RecordBench(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Upsert: same (name, label) replaces in place.
+	if err := RecordBench(path, BenchRecord{Name: "BenchmarkFockA", Label: "pr2", NsPerOp: 40, Grid: [3]int{9, 9, 9}, NB: 4}); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(bf.Records))
+	}
+	// Sorted by (name, label).
+	for i := 1; i < len(bf.Records); i++ {
+		a, b := bf.Records[i-1], bf.Records[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Label > b.Label) {
+			t.Errorf("records not sorted at %d: %v >= %v", i, a, b)
+		}
+	}
+	r, ok := bf.Find("BenchmarkFockA", "pr2")
+	if !ok || r.NsPerOp != 40 {
+		t.Errorf("upsert failed: %v %v", r, ok)
+	}
+	if _, ok := bf.Find("BenchmarkFockA", "baseline"); !ok {
+		t.Error("baseline record lost on upsert")
+	}
+}
+
+func TestLoadBenchMissingFile(t *testing.T) {
+	bf, err := LoadBench(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || len(bf.Records) != 0 {
+		t.Errorf("missing file should load empty: %v %v", bf, err)
+	}
+}
+
+func TestRecordBenchRejectsAnonymous(t *testing.T) {
+	if err := RecordBench(filepath.Join(t.TempDir(), "b.json"), BenchRecord{}); err == nil {
+		t.Error("nameless record accepted")
+	}
+}
