@@ -512,6 +512,68 @@ func BenchmarkRealDistributedExchange(b *testing.B) {
 	}
 }
 
+// Ablation: the distributed ACE compression against the exact distributed
+// exchange on real 4-rank executions - the paper's section-1 PT-vs-PT+ACE
+// trade-off in wall-clock form, recorded into BENCH_fock.json. "exact" is
+// one exact exchange application (what every inner SCF iteration pays on
+// the plain PT path), "ace_build" is one collective Xi construction (the
+// per-step cost of the held cadence: one exact application plus two
+// transposes, an allreduced nb x nb overlap, replicated Cholesky and the
+// slab triangular solve), and "ace_apply" is one compressed application
+// (what each inner iteration pays once Xi is held: two transposes plus one
+// nb x nb allreduce instead of nb broadcasts and nb x nbl Poisson solves).
+func BenchmarkDistExchange(b *testing.B) {
+	g, psi, nb := fixture(b)
+	kernel := fock.BuildKernel(g, xc.HSE06())
+	opt := dist.ExchangeOptions{Strategy: dist.BcastOverlapped}
+	const ranks = 4
+	run := func(b *testing.B, body func(d *dist.Ctx, local []complex128, ex *dist.ExchangeWorkspace)) {
+		b.Helper()
+		b.ReportAllocs()
+		mpi.Run(ranks, func(c *mpi.Comm) {
+			d, err := dist.NewCtx(c, g, nb, 2)
+			if err != nil {
+				panic(err)
+			}
+			lo, hi := d.BandRange(c.Rank())
+			local := wavefunc.Clone(psi[lo*g.NG : hi*g.NG])
+			body(d, local, d.NewExchangeWorkspace())
+		})
+	}
+	b.Run("exact", func(b *testing.B) {
+		run(b, func(d *dist.Ctx, local []complex128, ex *dist.ExchangeWorkspace) {
+			for i := 0; i < b.N; i++ {
+				d.FockExchangeWS(local, local, kernel, 0.25, opt, ex)
+			}
+		})
+		recordBench(b, g, nb, -1)
+	})
+	b.Run("ace_build", func(b *testing.B) {
+		run(b, func(d *dist.Ctx, local []complex128, ex *dist.ExchangeWorkspace) {
+			a := d.NewACE()
+			for i := 0; i < b.N; i++ {
+				if err := a.Rebuild(local, nil, kernel, 0.25, opt, ex); err != nil {
+					panic(err)
+				}
+			}
+		})
+		recordBench(b, g, nb, -1)
+	})
+	b.Run("ace_apply", func(b *testing.B) {
+		run(b, func(d *dist.Ctx, local []complex128, ex *dist.ExchangeWorkspace) {
+			a := d.NewACE()
+			if err := a.Rebuild(local, nil, kernel, 0.25, opt, ex); err != nil {
+				panic(err)
+			}
+			out := make([]complex128, len(local))
+			for i := 0; i < b.N; i++ {
+				a.Apply(out, local)
+			}
+		})
+		recordBench(b, g, nb, -1)
+	})
+}
+
 func BenchmarkRealAlltoallvTranspose(b *testing.B) {
 	g, psi, nb := fixture(b)
 	b.ReportAllocs()

@@ -43,4 +43,22 @@ func TestBenchTrajectoryRecordsImprovement(t *testing.T) {
 			t.Errorf("%s: recorded %.0f allocs/op, want 0", name, rec.AllocsPerOp)
 		}
 	}
+
+	// The distributed ACE-vs-exact ablation (label pr3-dist-ace): one
+	// compressed application must be recorded substantially cheaper than
+	// one exact exchange application - the nb-dot-products-vs-nb-Poisson
+	// payoff that makes the held cadence worth its compression error -
+	// while the collective Xi construction stays within ~2x of one exact
+	// application (it embeds one).
+	exact, okE := bf.Find("BenchmarkDistExchange/exact", "pr3-dist-ace")
+	apply, okA := bf.Find("BenchmarkDistExchange/ace_apply", "pr3-dist-ace")
+	build, okB := bf.Find("BenchmarkDistExchange/ace_build", "pr3-dist-ace")
+	switch {
+	case !okE || !okA || !okB:
+		t.Errorf("pr3-dist-ace trajectory incomplete: exact=%v apply=%v build=%v", okE, okA, okB)
+	case apply.NsPerOp >= exact.NsPerOp:
+		t.Errorf("recorded ACE application (%.0f ns) not cheaper than exact exchange (%.0f ns)", apply.NsPerOp, exact.NsPerOp)
+	case build.NsPerOp > 2*exact.NsPerOp:
+		t.Errorf("recorded ACE build (%.0f ns) more than 2x one exact application (%.0f ns)", build.NsPerOp, exact.NsPerOp)
+	}
 }

@@ -42,6 +42,7 @@ type config struct {
 	ecut     float64
 	hybrid   bool
 	useACE   bool
+	aceHold  bool
 	method   string
 	dtAs     float64
 	steps    int
@@ -63,7 +64,8 @@ func parseFlags() (*config, error) {
 	cellsStr := flag.String("cells", "1,1,1", "supercell repetitions nx,ny,nz (8 Si atoms per cell)")
 	flag.Float64Var(&c.ecut, "ecut", 4, "kinetic energy cutoff (Ha); the paper uses 10")
 	flag.BoolVar(&c.hybrid, "hybrid", false, "use the HSE-like hybrid functional (screened Fock exchange)")
-	flag.BoolVar(&c.useACE, "ace", false, "apply exchange through the ACE compression (serial runs only)")
+	flag.BoolVar(&c.useACE, "ace", false, "apply exchange through the ACE compression (serial and distributed runs)")
+	flag.BoolVar(&c.aceHold, "acehold", false, "hold the distributed ACE operator fixed through each step's inner SCF (Jia & Lin cadence; implies -ace)")
 	flag.StringVar(&c.method, "method", "ptcn", "time integrator: ptcn or rk4")
 	flag.Float64Var(&c.dtAs, "dt", 24, "time step in attoseconds (paper: 50 for PT-CN, 0.5 for RK4)")
 	flag.IntVar(&c.steps, "steps", 5, "number of propagation steps")
@@ -91,6 +93,17 @@ func parseFlags() (*config, error) {
 	}
 	if c.method != "ptcn" && c.method != "rk4" {
 		return nil, fmt.Errorf("unknown method %q", c.method)
+	}
+	// No silent flag drops: every exchange-operator request must reach a
+	// code path that honors it.
+	if c.aceHold {
+		c.useACE = true
+		if c.ranks <= 1 {
+			return nil, fmt.Errorf("-acehold is a distributed cadence (requires -ranks > 1); the serial ACE always rebuilds per refresh")
+		}
+	}
+	if c.useACE && !c.hybrid {
+		return nil, fmt.Errorf("-ace selects the exchange operator of the hybrid functional; add -hybrid")
 	}
 	// Resolve the exchange strategy up front so a typo fails before the
 	// ground-state SCF runs, not after.
@@ -168,14 +181,16 @@ func run(cfg *config) error {
 	// freshly converged ground state.
 	psiStart := gs.Psi
 	t0 := 0.0
+	var loaded *checkpoint.State
 	if cfg.loadPath != "" {
 		st, err := checkpoint.LoadFile(cfg.loadPath)
 		if err != nil {
 			return err
 		}
-		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut); err != nil {
+		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut, cfg.hybrid); err != nil {
 			return err
 		}
+		loaded = st
 		psiStart = st.Psi
 		t0 = st.Time
 		fmt.Printf("resumed from %s at t = %.2f as (step %d)\n", cfg.loadPath, units.AUToAttoseconds(st.Time), st.Step)
@@ -202,8 +217,11 @@ func run(cfg *config) error {
 	}
 
 	if cfg.savePath != "" {
+		// The step counter is cumulative provenance: a resumed segment
+		// saves loaded.Step + its own steps, so a 600-step run split
+		// across allocations reports the true global step on every file.
 		st := &checkpoint.State{
-			Time: tFinal, Step: int64(cfg.steps), NBands: nb, NG: g.NG,
+			Time: tFinal, Step: checkpoint.ContinuationStep(loaded, cfg.steps), NBands: nb, NG: g.NG,
 			Natom: int64(cell.NumAtoms()), Ecut: cfg.ecut, Hybrid: cfg.hybrid, Psi: psiFinal,
 		}
 		if err := checkpoint.SaveFile(cfg.savePath, st); err != nil {
@@ -259,6 +277,16 @@ func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi
 			wallSec:  wall,
 		})
 	}
+	// Report which exchange operator actually propagated the run: a
+	// degenerate reference set downgrades an -ace refresh to the exact
+	// operator, and that must never stay invisible.
+	if cfg.hybrid && cfg.useACE {
+		if n, lastErr := h.ACEFallbacks(); n > 0 {
+			fmt.Printf("exchange operator: ACE with %d refresh(es) fallen back to exact exchange (last failure: %v)\n", n, lastErr)
+		} else {
+			fmt.Println("exchange operator: ACE (no fallbacks)")
+		}
+	}
 	return records, psi, now(), nil
 }
 
@@ -269,8 +297,22 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 	if nb%cfg.ranks != 0 {
 		return nil, nil, 0, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
 	}
-	exOpt := dist.ExchangeOptions{Strategy: cfg.exchange, SinglePrecision: cfg.single}
-	fmt.Printf("distributed: %d ranks, exchange strategy %v, single precision %v\n", cfg.ranks, cfg.exchange, cfg.single)
+	exOpt := dist.ExchangeOptions{
+		Strategy:          cfg.exchange,
+		SinglePrecision:   cfg.single,
+		ACE:               cfg.useACE,
+		ACEHoldThroughSCF: cfg.aceHold,
+	}
+	op := "none (semi-local)"
+	switch {
+	case cfg.hybrid && cfg.aceHold:
+		op = "ACE (held through inner SCF)"
+	case cfg.hybrid && cfg.useACE:
+		op = "ACE (rebuilt per refresh)"
+	case cfg.hybrid:
+		op = "exact exchange"
+	}
+	fmt.Printf("distributed: %d ranks, exchange strategy %v, operator %s, single precision %v\n", cfg.ranks, cfg.exchange, op, cfg.single)
 
 	records := make([]stepRecord, cfg.steps)
 	psiFinal := make([]complex128, nb*g.NG)

@@ -83,7 +83,9 @@ func run(ecut, dtAs float64, steps int, kick float64, hybrid bool, wmaxEV float6
 	}
 
 	wmax := wmaxEV / units.EVPerHartree
-	omegas, sigma := observe.AbsorptionSpectrum(jz, dt, kick, wmax, nw, eta)
+	// jz[i] was recorded after step i+1, i.e. at t = (i+1)*dt: pass t0 = dt
+	// so the transform phases every sample at its true time.
+	omegas, sigma := observe.AbsorptionSpectrum(jz, dt, dt, kick, wmax, nw, eta)
 	fmt.Println("# omega_eV  Re_sigma(arb)")
 	for i := range omegas {
 		fmt.Printf("%10.4f %14.6e\n", omegas[i]*units.EVPerHartree, sigma[i])

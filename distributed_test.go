@@ -128,6 +128,55 @@ func TestDistributedStrategiesAgree(t *testing.T) {
 	}
 }
 
+// TestDistributedACEMatchesExactStep: with the per-refresh rebuild cadence
+// the ACE compression is applied only to its own reference span, where it
+// reproduces the exact operator exactly - so one hybrid PT-CN step through
+// the distributed ACE must agree with the exact-exchange step to round-off
+// (1e-10) for every communication strategy and rank count. This is the
+// acceptance pin for the ACE data path: projections, Cholesky, slab
+// triangular solve and both transposes all sit inside the compared step.
+func TestDistributedACEMatchesExactStep(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	const steps, dt = 1, 1.0
+	for _, ranks := range []int{1, 2, 4} {
+		for _, strat := range []dist.ExchangeStrategy{dist.BcastSequential, dist.BcastOverlapped, dist.RoundRobin} {
+			exact, eExact, _ := propagate(t, g, psi0, nb, true, ranks, steps, dt, dist.ExchangeOptions{Strategy: strat})
+			ace, eACE, _ := propagate(t, g, psi0, nb, true, ranks, steps, dt, dist.ExchangeOptions{Strategy: strat, ACE: true})
+			if d := wavefunc.MaxDiff(exact, ace); d > 1e-10 {
+				t.Errorf("ranks=%d %v: ACE step differs from exact exchange by %g (tol 1e-10)", ranks, strat, d)
+			}
+			if d := math.Abs(eExact - eACE); d > 1e-10 {
+				t.Errorf("ranks=%d %v: ACE energy differs from exact by %g (tol 1e-10)", ranks, strat, d)
+			}
+		}
+	}
+}
+
+// TestDistributedACEHoldCadence: the Jia & Lin cadence builds Xi from
+// Psi_n once per step and holds it through the inner SCF, trading the
+// per-iteration exchange construction for a controlled compression error
+// on the iterates that leave the reference span. One step must converge
+// and stay physically close to the exact propagation - the accuracy side
+// of the PT-vs-PT+ACE trade-off the ablation benchmark times.
+func TestDistributedACEHoldCadence(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	const steps, dt = 1, 1.0
+	exact, eExact, _ := propagate(t, g, psi0, nb, true, 4, steps, dt, dist.ExchangeOptions{Strategy: dist.BcastOverlapped})
+	held, eHeld, _ := propagate(t, g, psi0, nb, true, 4, steps, dt,
+		dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: true, ACEHoldThroughSCF: true})
+	rhoExact := potential.Density(g, exact, nb, 2)
+	rhoHeld := potential.Density(g, held, nb, 2)
+	// The compression error scales with how far the inner iterates leave
+	// span(Psi_n), i.e. with dt x kick; at this deliberately coarse test
+	// discretization (dt = 1 au, A = 0.02) it measures ~5e-4.
+	if d := potential.DensityDiff(g, rhoExact, rhoHeld, 32); d > 2e-3 {
+		t.Errorf("held-ACE density deviates from exact by %g", d)
+	}
+	if d := math.Abs(eExact - eHeld); d > 2e-3 {
+		t.Errorf("held-ACE energy deviates from exact by %g", d)
+	}
+}
+
 // TestDistributedHybridMatchesSerial checks the distributed hybrid path
 // against the serial hybrid propagator: same screened exchange, same
 // exchange attenuation of the semi-local functional.

@@ -59,7 +59,8 @@ func main() {
 	fmt.Printf("propagated %.2f fs; transforming current trace\n", prop.Time*units.FemtosecondPerAU)
 
 	wmax := wmaxEV / units.EVPerHartree
-	omegas, sigma := observe.AbsorptionSpectrum(jz, dt, kick, wmax, npoints, 0.01)
+	// jz[i] was recorded after step i+1, i.e. at t = (i+1)*dt: t0 = dt.
+	omegas, sigma := observe.AbsorptionSpectrum(jz, dt, dt, kick, wmax, npoints, 0.01)
 
 	// Render a small terminal plot of Re sigma(omega).
 	var peak float64

@@ -150,11 +150,30 @@ func LoadFile(path string) (*State, error) {
 }
 
 // Compatible reports whether a loaded state matches the current system
-// discretization, with a descriptive error when it does not.
-func (s *State) Compatible(nbands, ng int, natom int64, ecut float64) error {
+// discretization and functional, with a descriptive error when it does
+// not. The hybrid flag matters as much as the grid: orbitals propagated
+// under the screened-exchange Hamiltonian must not silently continue under
+// a semi-local one (or vice versa) - the trajectories are not comparable.
+func (s *State) Compatible(nbands, ng int, natom int64, ecut float64, hybrid bool) error {
 	if s.NBands != nbands || s.NG != ng || s.Natom != natom || s.Ecut != ecut {
 		return fmt.Errorf("checkpoint: state for Si%d nb=%d NG=%d Ecut=%g does not match system Si%d nb=%d NG=%d Ecut=%g",
 			s.Natom, s.NBands, s.NG, s.Ecut, natom, nbands, ng, ecut)
 	}
+	if s.Hybrid != hybrid {
+		return fmt.Errorf("checkpoint: state propagated with hybrid=%v cannot resume under hybrid=%v (rerun with the matching -hybrid flag)",
+			s.Hybrid, hybrid)
+	}
 	return nil
+}
+
+// ContinuationStep returns the global step counter after advancing `steps`
+// further steps from a loaded checkpoint; a nil loaded state means a fresh
+// run starting at step 0. Segments of a split production run chain their
+// provenance through this: each segment's saved Step is the cumulative
+// count, not the segment length.
+func ContinuationStep(loaded *State, steps int) int64 {
+	if loaded == nil {
+		return int64(steps)
+	}
+	return loaded.Step + int64(steps)
 }

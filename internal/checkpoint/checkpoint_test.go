@@ -105,14 +105,52 @@ func TestSaveRejectsInconsistentState(t *testing.T) {
 }
 
 func TestCompatible(t *testing.T) {
-	s := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3}
-	if err := s.Compatible(16, 257, 8, 3); err != nil {
+	s := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true}
+	if err := s.Compatible(16, 257, 8, 3, true); err != nil {
 		t.Errorf("unexpected incompatibility: %v", err)
 	}
-	if err := s.Compatible(16, 257, 8, 4); err == nil {
+	if err := s.Compatible(16, 257, 8, 4, true); err == nil {
 		t.Error("Ecut mismatch not detected")
 	}
-	if err := s.Compatible(32, 257, 8, 3); err == nil {
+	if err := s.Compatible(32, 257, 8, 3, true); err == nil {
 		t.Error("band mismatch not detected")
+	}
+	// A hybrid checkpoint must not resume under a semi-local Hamiltonian
+	// (or vice versa) - the propagated trajectories are not interchangeable.
+	if err := s.Compatible(16, 257, 8, 3, false); err == nil {
+		t.Error("hybrid mismatch not detected")
+	} else if !strings.Contains(err.Error(), "hybrid") {
+		t.Errorf("hybrid mismatch error not descriptive: %v", err)
+	}
+	sl := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: false}
+	if err := sl.Compatible(16, 257, 8, 3, true); err == nil {
+		t.Error("semi-local state resumed under hybrid not detected")
+	}
+}
+
+// TestContinuationStepAccounting pins the cumulative step provenance of a
+// split production run: each segment's saved Step must be the loaded
+// counter plus its own steps, through a save -> load -> continue chain.
+func TestContinuationStepAccounting(t *testing.T) {
+	if got := ContinuationStep(nil, 200); got != 200 {
+		t.Errorf("fresh run: step %d, want 200", got)
+	}
+	rng := rand.New(rand.NewSource(5))
+	path := filepath.Join(t.TempDir(), "segment.ckp")
+	var loaded *State
+	// A 600-step run split into three 200-step segments.
+	for seg := 1; seg <= 3; seg++ {
+		st := sampleState(rng)
+		st.Step = ContinuationStep(loaded, 200)
+		if err := SaveFile(path, st); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if loaded, err = LoadFile(path); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(200 * seg); loaded.Step != want {
+			t.Fatalf("segment %d: step counter %d, want %d", seg, loaded.Step, want)
+		}
 	}
 }

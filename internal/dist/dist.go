@@ -43,6 +43,8 @@ const (
 	tagScalars   = 60      // AllreduceSum consumes 60 and 61
 	tagCurrent   = 70      // AllreduceSum consumes 70 and 71
 	tagExcited   = 80      // AllreduceSum consumes 80 and 81
+	tagACE       = 90      // AllreduceSum consumes 90 and 91 (build overlap)
+	tagACEProj   = 100     // AllreduceSum consumes 100 and 101 (apply projections)
 	tagExchBcast = 1 << 10 // + global band index
 	tagExchRing  = 1 << 11 // + ring hop
 )
@@ -150,12 +152,52 @@ func (d *Ctx) Gather(local []complex128) []complex128 {
 	return out
 }
 
+// TransposeWorkspace holds the send-side staging of the layout transposes
+// so repeated BandToGWS/GToBandWS calls perform no caller-side allocations:
+// one flat backing array re-sliced into per-rank blocks each call. The
+// receive-side copies made inside the mpi layer model the wire and are not
+// the caller's to avoid.
+type TransposeWorkspace struct {
+	send [][]complex128
+	flat []complex128
+}
+
+// NewTransposeWorkspace allocates transpose staging for this rank's band
+// block: nbl x NG outbound in the band->G direction, NB x local slab in the
+// G->band direction (the two differ by partition remainders).
+func (d *Ctx) NewTransposeWorkspace() *TransposeWorkspace {
+	n := d.NumLocalBands() * d.G.NG
+	if m := d.NB * d.NumLocalG(); m > n {
+		n = m
+	}
+	return &TransposeWorkspace{
+		send: make([][]complex128, d.C.Size()),
+		flat: make([]complex128, n),
+	}
+}
+
+// roundSingle rounds a block through the single-precision wire format in
+// place, so a size-1 communicator sees the same rounding as a real transfer.
+func roundSingle(x []complex128) {
+	for i := range x {
+		x[i] = complex128(complex64(x[i]))
+	}
+}
+
 // BandToG transposes this rank's band-layout block (local bands x full NG)
 // into the G-space layout (all NB bands x local G slab) with one
 // MPI_Alltoallv. When single is true the wire payload is down-converted to
 // complex64, halving the transpose volume (section 3.2, optimization 4);
 // the returned data is always complex128. Collective.
 func (d *Ctx) BandToG(local []complex128, single bool) []complex128 {
+	out := make([]complex128, d.NB*d.NumLocalG())
+	d.BandToGWS(out, local, single, d.NewTransposeWorkspace())
+	return out
+}
+
+// BandToGWS is BandToG with a caller-owned destination (NB x local slab)
+// and staging workspace. Collective.
+func (d *Ctx) BandToGWS(dst, local []complex128, single bool, tw *TransposeWorkspace) {
 	if d.Dims < 2 {
 		panic("dist: BandToG requires a dims=2 decomposition")
 	}
@@ -164,32 +206,51 @@ func (d *Ctx) BandToG(local []complex128, single bool) []complex128 {
 	if len(local) != nbl*ng {
 		panic("dist: BandToG local block size mismatch")
 	}
+	w := d.NumLocalG()
+	if len(dst) != d.NB*w {
+		panic("dist: BandToG destination size mismatch")
+	}
 	size := d.C.Size()
-	send := make([][]complex128, size)
+	if size == 1 {
+		// The two layouts coincide on one rank; only the wire rounding of
+		// the single-precision format remains observable.
+		copy(dst, local)
+		if single {
+			roundSingle(dst)
+		}
+		return
+	}
+	off := 0
 	for r := 0; r < size; r++ {
 		glo, ghi := d.GRange(r)
-		w := ghi - glo
-		buf := make([]complex128, nbl*w)
+		rw := ghi - glo
+		buf := tw.flat[off : off+nbl*rw]
+		off += nbl * rw
 		for j := 0; j < nbl; j++ {
-			copy(buf[j*w:(j+1)*w], local[j*ng+glo:j*ng+ghi])
+			copy(buf[j*rw:(j+1)*rw], local[j*ng+glo:j*ng+ghi])
 		}
-		send[r] = buf
+		tw.send[r] = buf
 	}
-	recv := d.alltoallv(send, tagBandToG, single)
-	w := d.NumLocalG()
-	out := make([]complex128, d.NB*w)
+	recv := d.alltoallv(tw.send, tagBandToG, single)
 	for r := 0; r < size; r++ {
 		blo, bhi := d.BandRange(r)
 		for j := 0; j < bhi-blo; j++ {
-			copy(out[(blo+j)*w:(blo+j+1)*w], recv[r][j*w:(j+1)*w])
+			copy(dst[(blo+j)*w:(blo+j+1)*w], recv[r][j*w:(j+1)*w])
 		}
 	}
-	return out
 }
 
 // GToBand is the inverse transpose: from the G-space layout (all NB bands x
 // local G slab) back to this rank's band-layout block. Collective.
 func (d *Ctx) GToBand(gd []complex128, single bool) []complex128 {
+	out := make([]complex128, d.NumLocalBands()*d.G.NG)
+	d.GToBandWS(out, gd, single, d.NewTransposeWorkspace())
+	return out
+}
+
+// GToBandWS is GToBand with a caller-owned destination (local bands x NG)
+// and staging workspace. Collective.
+func (d *Ctx) GToBandWS(dst, gd []complex128, single bool, tw *TransposeWorkspace) {
 	if d.Dims < 2 {
 		panic("dist: GToBand requires a dims=2 decomposition")
 	}
@@ -197,28 +258,37 @@ func (d *Ctx) GToBand(gd []complex128, single bool) []complex128 {
 	if len(gd) != d.NB*w {
 		panic("dist: GToBand slab size mismatch")
 	}
+	ng := d.G.NG
+	nbl := d.NumLocalBands()
+	if len(dst) != nbl*ng {
+		panic("dist: GToBand destination size mismatch")
+	}
 	size := d.C.Size()
-	send := make([][]complex128, size)
+	if size == 1 {
+		copy(dst, gd)
+		if single {
+			roundSingle(dst)
+		}
+		return
+	}
+	off := 0
 	for r := 0; r < size; r++ {
 		blo, bhi := d.BandRange(r)
-		buf := make([]complex128, (bhi-blo)*w)
+		buf := tw.flat[off : off+(bhi-blo)*w]
+		off += (bhi - blo) * w
 		for j := blo; j < bhi; j++ {
 			copy(buf[(j-blo)*w:(j-blo+1)*w], gd[j*w:(j+1)*w])
 		}
-		send[r] = buf
+		tw.send[r] = buf
 	}
-	recv := d.alltoallv(send, tagGToBand, single)
-	ng := d.G.NG
-	nbl := d.NumLocalBands()
-	out := make([]complex128, nbl*ng)
+	recv := d.alltoallv(tw.send, tagGToBand, single)
 	for r := 0; r < size; r++ {
 		rglo, rghi := d.GRange(r)
 		rw := rghi - rglo
 		for j := 0; j < nbl; j++ {
-			copy(out[j*ng+rglo:j*ng+rghi], recv[r][j*rw:(j+1)*rw])
+			copy(dst[j*ng+rglo:j*ng+rghi], recv[r][j*rw:(j+1)*rw])
 		}
 	}
-	return out
 }
 
 // alltoallv runs the personalized all-to-all in double or single wire

@@ -84,6 +84,21 @@ func ParseStrategy(name string) (ExchangeStrategy, error) {
 type ExchangeOptions struct {
 	Strategy        ExchangeStrategy
 	SinglePrecision bool
+
+	// ACE applies the Fock operator through the distributed adaptively
+	// compressed exchange (dist.ACE): Xi is constructed collectively with
+	// the selected strategy and each application costs two layout
+	// transposes plus one nb x nb Allreduce instead of nb broadcasts and
+	// nb x nbl Poisson solves. Consumed by PTCNSolver; FockExchange itself
+	// always applies the exact operator.
+	ACE bool
+	// ACEHoldThroughSCF rebuilds Xi once per PT-CN step - at the step's
+	// first exchange application, from Psi_n - and holds it fixed through
+	// the inner SCF iterations (the Jia & Lin cadence, arXiv:1809.09609).
+	// When false Xi is rebuilt from the iterate at every refresh, which
+	// keeps PT+ACE numerically equivalent to the exact-exchange path (the
+	// compression is exact on its own reference span).
+	ACEHoldThroughSCF bool
 }
 
 // ExchangeWorkspace holds every buffer one rank's FockExchange needs:
@@ -105,6 +120,14 @@ type ExchangeWorkspace struct {
 	fft     []*fourier.Workspace3 // nw: per-worker FFT line scratch
 	fftPhi  *fourier.Workspace3
 	ch      chan []complex128 // overlapped-fetch handoff, capacity 1
+
+	// Per-application fold state, bound by FockExchangeWS so the strategy
+	// loops call ws.process as a plain method instead of through a freshly
+	// allocated closure (the strict zero-allocation contract of the solver
+	// hot loop).
+	kernel []float64
+	alpha  float64
+	nbl    int
 }
 
 // NewExchangeWorkspace allocates the exchange scratch for this rank's band
@@ -168,41 +191,66 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 		panic("dist: FockExchange kernel must cover the wavefunction box")
 	}
 
-	ws.ensureWorkers(parallel.NumWorkers(nbl))
+	nw := parallel.NumWorkers(nbl)
+	ws.ensureWorkers(nw)
+	ws.kernel, ws.alpha, ws.nbl = kernel, alpha, nbl
 
-	// Real-space local psi bands and accumulators, computed once.
-	parallel.ForWorker(nbl, func(w, j int) {
-		d.G.ToRealSerialWS(ws.psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng], ws.fft[w])
-	})
+	// Real-space local psi bands and accumulators, computed once. The
+	// nw <= 1 branches run the loops inline - no closures, no goroutines -
+	// which is the zero-allocation steady state the solver alloc test pins.
+	if nw <= 1 {
+		for j := 0; j < nbl; j++ {
+			d.G.ToRealSerialWS(ws.psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng], ws.fft[0])
+		}
+	} else {
+		parallel.ForWorker(nbl, func(w, j int) {
+			d.G.ToRealSerialWS(ws.psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng], ws.fft[w])
+		})
+	}
 	for i := range ws.acc {
 		ws.acc[i] = 0
 	}
 
-	// process folds one reference band (sphere coefficients) into every
-	// local accumulator through the shared Alg. 2 inner step. Scratch is
-	// bound out of the hot loop: one phiR reused across reference bands
-	// (process runs sequentially) and one pair buffer plus FFT workspace
-	// per worker (ForWorker serializes all iterations of a worker index).
-	process := func(band []complex128) {
-		d.G.ToRealSerialWS(ws.phiR, band, ws.fftPhi)
-		parallel.ForWorker(nbl, func(w, j int) {
-			fock.ContractReferenceWS(d.G, kernel, alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[w*ntot:(w+1)*ntot], ws.fft[w])
-		})
-	}
-
 	switch opt.Strategy {
 	case BcastOverlapped:
-		d.exchangeBcastOverlapped(phi, opt.SinglePrecision, process, ws)
+		d.exchangeBcastOverlapped(phi, opt.SinglePrecision, ws)
 	case RoundRobin:
-		d.exchangeRoundRobin(phi, opt.SinglePrecision, process, ws)
+		d.exchangeRoundRobin(phi, opt.SinglePrecision, ws)
 	default:
-		d.exchangeBcastSequential(phi, opt.SinglePrecision, process, ws)
+		d.exchangeBcastSequential(phi, opt.SinglePrecision, ws)
 	}
 
-	parallel.ForWorker(nbl, func(w, j int) {
-		d.G.FromRealSerialWS(ws.vx[j*ng:(j+1)*ng], ws.acc[j*ntot:(j+1)*ntot], ws.fft[w])
-	})
+	if nw <= 1 {
+		for j := 0; j < nbl; j++ {
+			d.G.FromRealSerialWS(ws.vx[j*ng:(j+1)*ng], ws.acc[j*ntot:(j+1)*ntot], ws.fft[0])
+		}
+	} else {
+		parallel.ForWorker(nbl, func(w, j int) {
+			d.G.FromRealSerialWS(ws.vx[j*ng:(j+1)*ng], ws.acc[j*ntot:(j+1)*ntot], ws.fft[w])
+		})
+	}
 	return ws.vx
+}
+
+// process folds one reference band (sphere coefficients) into every local
+// accumulator through the shared Alg. 2 inner step, using the fold state
+// bound by FockExchangeWS. Scratch is bound out of the hot loop: one phiR
+// reused across reference bands (process runs sequentially) and one pair
+// buffer plus FFT workspace per worker (ForWorker serializes all iterations
+// of a worker index).
+func (ws *ExchangeWorkspace) process(band []complex128) {
+	d := ws.g
+	ntot := d.G.NTot
+	d.G.ToRealSerialWS(ws.phiR, band, ws.fftPhi)
+	if parallel.NumWorkers(ws.nbl) <= 1 {
+		for j := 0; j < ws.nbl; j++ {
+			fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[:ntot], ws.fft[0])
+		}
+		return
+	}
+	parallel.ForWorker(ws.nbl, func(w, j int) {
+		fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[w*ntot:(w+1)*ntot], ws.fft[w])
+	})
 }
 
 // bcastBand broadcasts one band from root into buf, optionally through a
@@ -220,7 +268,7 @@ func (d *Ctx) bcastBand(buf []complex128, root, tag int, single bool) {
 
 // exchangeBcastSequential delivers reference bands in global order, one
 // blocking broadcast each into the workspace wire buffer.
-func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, process func([]complex128), ws *ExchangeWorkspace) {
+func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, ws *ExchangeWorkspace) {
 	ng := d.G.NG
 	myLo, _ := d.BandRange(d.C.Rank())
 	buf := ws.band[0]
@@ -230,7 +278,7 @@ func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, process fun
 			copy(buf, phi[(i-myLo)*ng:(i-myLo+1)*ng])
 		}
 		d.bcastBand(buf, owner, tagExchBcast+i, single)
-		process(buf)
+		ws.process(buf)
 	}
 }
 
@@ -238,7 +286,13 @@ func (d *Ctx) exchangeBcastSequential(phi []complex128, single bool, process fun
 // runs on its own goroutine (distinct tag, so the Comm handle is safe)
 // while band i is folded into the accumulators. The two wire buffers
 // ping-pong so the in-flight fetch never touches the band being processed.
-func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, process func([]complex128), ws *ExchangeWorkspace) {
+// On one rank there is no broadcast to hide and the pipeline degenerates to
+// the sequential loop (keeping the single-rank path goroutine-free).
+func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, ws *ExchangeWorkspace) {
+	if d.C.Size() == 1 {
+		d.exchangeBcastSequential(phi, single, ws)
+		return
+	}
 	ng := d.G.NG
 	myLo, _ := d.BandRange(d.C.Rank())
 	fetch := func(i int) {
@@ -258,7 +312,7 @@ func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, process fun
 		if i+1 < d.NB {
 			fetch(i + 1)
 		}
-		process(band)
+		ws.process(band)
 	}
 }
 
@@ -268,7 +322,7 @@ func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, process fun
 // staged in the workspace ring buffer; the blocks received on later hops
 // are the mailbox copies the mpi layer makes anyway (its Send semantics),
 // so the caller side adds no allocations of its own.
-func (d *Ctx) exchangeRoundRobin(phi []complex128, single bool, process func([]complex128), ws *ExchangeWorkspace) {
+func (d *Ctx) exchangeRoundRobin(phi []complex128, single bool, ws *ExchangeWorkspace) {
 	ng := d.G.NG
 	rank, size := d.C.Rank(), d.C.Size()
 	cur := ws.ring[:len(phi)]
@@ -285,7 +339,7 @@ func (d *Ctx) exchangeRoundRobin(phi []complex128, single bool, process func([]c
 		src := (rank - t + size) % size
 		lo, hi := d.BandRange(src)
 		for i := 0; i < hi-lo; i++ {
-			process(cur[i*ng : (i+1)*ng])
+			ws.process(cur[i*ng : (i+1)*ng])
 		}
 		if t == size-1 {
 			break

@@ -1,0 +1,7 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports that the race detector is active; sync.Pool drops
+// items randomly under race, so allocation pins are meaningless.
+const raceEnabled = true

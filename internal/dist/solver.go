@@ -33,8 +33,9 @@ import (
 // PTCNSolver propagates one rank's band block with the parallel transport
 // Crank-Nicolson integrator. The Hamiltonian must be built without the
 // hybrid term (hamiltonian.Config{}); when useHybrid is set the solver
-// applies the exchange itself through the distributed communication
-// strategies, since the reference orbitals live across ranks.
+// applies the exchange itself - through the distributed communication
+// strategies, or through the distributed ACE compression when Ex.ACE is
+// set - since the reference orbitals live across ranks.
 type PTCNSolver struct {
 	D      *Ctx
 	H      *hamiltonian.Hamiltonian
@@ -48,6 +49,50 @@ type PTCNSolver struct {
 
 	kernel []float64 // screened Coulomb kernel, built once when hybrid
 	exWS   *ExchangeWorkspace
+	ws     *stepWorkspace
+	ace    *ACE
+	// aceStale marks the compressed operator for a rebuild at the next
+	// exchange application; Step raises it once per step, so the Jia & Lin
+	// hold cadence rebuilds from Psi_n and then holds through the inner
+	// SCF iterations.
+	aceStale bool
+}
+
+// stepWorkspace owns every band-block buffer of the solver hot loop, bound
+// to the solver and reused across steps and SCF iterations so the
+// per-iteration residual path performs no heap allocations (the mailbox
+// copies inside the mpi layer remain - they model the wire, and vanish on
+// one rank). TestDistStepAllocs pins the contract.
+type stepWorkspace struct {
+	hp   []complex128 // nbl x NG: H psi
+	res  []complex128 // nbl x NG: PT residual, returned by residual
+	half []complex128 // nbl x NG: half-step RHS Psi_{n+1/2}
+	fp   []complex128 // nbl x NG: fixed-point residual fed to the mixer
+	psiG []complex128 // NB x w: iterate in the G layout
+	hpG  []complex128 // NB x w: H psi in the G layout
+	resG []complex128 // NB x w: residual in the G layout
+	ov   []complex128 // nb x nb: overlap / projection matrix
+	tw   *TransposeWorkspace
+}
+
+// stepWS returns the solver's step workspace, allocating it on first use.
+func (s *PTCNSolver) stepWS() *stepWorkspace {
+	if s.ws == nil {
+		nbl, ng := s.D.NumLocalBands(), s.D.G.NG
+		nb, w := s.D.NB, s.D.NumLocalG()
+		s.ws = &stepWorkspace{
+			hp:   make([]complex128, nbl*ng),
+			res:  make([]complex128, nbl*ng),
+			half: make([]complex128, nbl*ng),
+			fp:   make([]complex128, nbl*ng),
+			psiG: make([]complex128, nb*w),
+			hpG:  make([]complex128, nb*w),
+			resG: make([]complex128, nb*w),
+			ov:   make([]complex128, nb*nb),
+			tw:   s.D.NewTransposeWorkspace(),
+		}
+	}
+	return s.ws
 }
 
 // NewPTCNSolver builds the distributed propagator starting at t = 0.
@@ -91,52 +136,81 @@ func (s *PTCNSolver) prepare(rho []float64, t float64) {
 	s.H.SetVeffDense(veff, en)
 }
 
-// exchange applies the distributed Fock exchange through the solver's
-// reusable workspace (allocated on first use), so the per-iteration
-// exchange performs no band-block allocations.
-func (s *PTCNSolver) exchange(local []complex128) []complex128 {
+// exchangeWS returns the solver's exchange workspace, allocated on first
+// use and shared by the exact and ACE construction paths.
+func (s *PTCNSolver) exchangeWS() *ExchangeWorkspace {
 	if s.exWS == nil {
 		s.exWS = s.D.NewExchangeWorkspace()
 	}
-	return s.D.FockExchangeWS(local, local, s.kernel, s.Hyb.Alpha, s.Ex, s.exWS)
+	return s.exWS
 }
 
-// applyH computes H psi for the local band block: the semi-local part per
-// band, plus the distributed Fock exchange with the current block as its
-// own reference (V_X[P] with P from the iterate, as in Alg. 1 line 5).
-func (s *PTCNSolver) applyH(local []complex128) []complex128 {
+// exchange applies the distributed Fock exchange through the solver's
+// reusable workspace, so the per-iteration exchange performs no band-block
+// allocations.
+func (s *PTCNSolver) exchange(local []complex128) []complex128 {
+	return s.D.FockExchangeWS(local, local, s.kernel, s.Hyb.Alpha, s.Ex, s.exchangeWS())
+}
+
+// applyH computes H psi into hp for the local band block: the semi-local
+// part per band, plus the distributed Fock exchange with the current block
+// as its own reference (V_X[P] with P from the iterate, as in Alg. 1 line
+// 5). localG is the caller's transpose of local into the G layout, reused
+// by the ACE build and application so the iterate crosses the wire once
+// per residual. In ACE mode the exchange goes through the compressed
+// operator, rebuilt per the configured cadence; a failed rebuild
+// (degenerate reference set) is a loud, rank-symmetric error, never a
+// silent fallback to the exact operator.
+func (s *PTCNSolver) applyH(hp, local, localG []complex128) error {
 	nbl := len(local) / s.D.G.NG
-	hp := make([]complex128, len(local))
 	s.H.Apply(hp, local, nbl)
-	if s.Hybrid {
-		vx := s.exchange(local)
-		for i := range hp {
-			hp[i] += vx[i]
-		}
+	if !s.Hybrid {
+		return nil
 	}
-	return hp
+	if s.Ex.ACE {
+		if s.ace == nil {
+			s.ace = s.D.NewACE()
+		}
+		if s.aceStale || !s.Ex.ACEHoldThroughSCF {
+			if err := s.ace.Rebuild(local, localG, s.kernel, s.Hyb.Alpha, s.Ex, s.exchangeWS()); err != nil {
+				return err
+			}
+			s.aceStale = false
+		}
+		s.ace.ApplyFromG(hp, localG)
+		return nil
+	}
+	vx := s.exchange(local)
+	for i := range hp {
+		hp[i] += vx[i]
+	}
+	return nil
 }
 
 // residual computes the PT residual R = H psi - psi (Psi^* H Psi) for the
-// local block. The band-coupled projection runs in the G-space layout: psi
-// and H psi are transposed, the overlap is accumulated slab-wise and
-// allreduced, the projection applied per slab, and the result transposed
-// back - three Alltoallv and one Allreduce per call (Fig. 1's data path).
-func (s *PTCNSolver) residual(local []complex128) []complex128 {
+// local block into the step workspace; the returned slice is ws.res, valid
+// until the next call. The band-coupled projection runs in the G-space
+// layout: psi and H psi are transposed, the overlap is accumulated
+// slab-wise and allreduced, the projection applied per slab, and the
+// result transposed back - three Alltoallv and one Allreduce per call
+// (Fig. 1's data path).
+func (s *PTCNSolver) residual(local []complex128) ([]complex128, error) {
 	nb := s.D.NB
-	hp := s.applyH(local)
-	psiG := s.D.BandToG(local, false)
-	hpG := s.D.BandToG(hp, false)
-	w := s.D.NumLocalG()
-	ov := make([]complex128, nb*nb)
-	linalg.Overlap(ov, psiG, hpG, nb, nb, w)
-	mpi.AllreduceSum(s.D.C, tagOverlap, ov)
-	resG := make([]complex128, nb*w)
-	linalg.ApplyMatrix(resG, psiG, ov, nb, nb, w)
-	for i := range resG {
-		resG[i] = hpG[i] - resG[i]
+	ws := s.stepWS()
+	s.D.BandToGWS(ws.psiG, local, false, ws.tw)
+	if err := s.applyH(ws.hp, local, ws.psiG); err != nil {
+		return nil, err
 	}
-	return s.D.GToBand(resG, false)
+	s.D.BandToGWS(ws.hpG, ws.hp, false, ws.tw)
+	w := s.D.NumLocalG()
+	linalg.Overlap(ws.ov, ws.psiG, ws.hpG, nb, nb, w)
+	mpi.AllreduceSum(s.D.C, tagOverlap, ws.ov)
+	linalg.ApplyMatrix(ws.resG, ws.psiG, ws.ov, nb, nb, w)
+	for i := range ws.resG {
+		ws.resG[i] = ws.hpG[i] - ws.resG[i]
+	}
+	s.D.GToBandWS(ws.res, ws.resG, false, ws.tw)
+	return ws.res, nil
 }
 
 // orthonormalize re-orthogonalizes the global band set from local blocks:
@@ -145,15 +219,15 @@ func (s *PTCNSolver) residual(local []complex128) []complex128 {
 // error.
 func (s *PTCNSolver) orthonormalize(local []complex128) ([]complex128, float64, error) {
 	nb := s.D.NB
-	psiG := s.D.BandToG(local, false)
+	ws := s.stepWS()
+	s.D.BandToGWS(ws.psiG, local, false, ws.tw)
 	w := s.D.NumLocalG()
-	ov := make([]complex128, nb*nb)
-	linalg.Overlap(ov, psiG, psiG, nb, nb, w)
-	mpi.AllreduceSum(s.D.C, tagOverlap, ov)
+	linalg.Overlap(ws.ov, ws.psiG, ws.psiG, nb, nb, w)
+	mpi.AllreduceSum(s.D.C, tagOverlap, ws.ov)
 	var oerr float64
 	for i := 0; i < nb; i++ {
 		for j := 0; j < nb; j++ {
-			v := ov[i*nb+j]
+			v := ws.ov[i*nb+j]
 			if i == j {
 				v -= 1
 			}
@@ -162,11 +236,13 @@ func (s *PTCNSolver) orthonormalize(local []complex128) ([]complex128, float64, 
 			}
 		}
 	}
-	if err := linalg.CholeskyLower(ov, nb); err != nil {
+	if err := linalg.CholeskyLower(ws.ov, nb); err != nil {
 		return nil, oerr, fmt.Errorf("dist: orthogonalization failed: %w", err)
 	}
-	linalg.SolveLowerBands(ov, psiG, nb, w)
-	return s.D.GToBand(psiG, false), oerr, nil
+	linalg.SolveLowerBands(ws.ov, ws.psiG, nb, w)
+	// The orthonormalized block becomes the caller's new state, so this
+	// final transpose returns a fresh slice rather than workspace memory.
+	return s.D.GToBand(ws.psiG, false), oerr, nil
 }
 
 // Step advances the local band block by dt with Algorithm 1. All ranks
@@ -174,15 +250,21 @@ func (s *PTCNSolver) orthonormalize(local []complex128) ([]complex128, float64, 
 // density, so success and failure are symmetric across ranks.
 func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.StepStats, error) {
 	var stats core.StepStats
+	ws := s.stepWS()
+	// One compressed-exchange rebuild per step under the hold cadence.
+	s.aceStale = true
 
 	// Residual at t_n with the current state's H.
 	rho := s.density(local)
 	s.prepare(rho, s.Time)
-	rn := s.residual(local)
+	rn, err := s.residual(local)
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.HApplications++
 
 	// Half-step RHS Psi_{n+1/2} = Psi_n - i dt/2 Rn.
-	half := make([]complex128, len(local))
+	half := ws.half
 	ihalf := complex(0, dt/2)
 	for i := range half {
 		half[i] = local[i] - ihalf*rn[i]
@@ -196,14 +278,16 @@ func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.St
 	converged := false
 	for j := 0; j < s.Opt.MaxSCF; j++ {
 		s.prepare(rhof, tNext)
-		rf := s.residual(psif)
-		stats.HApplications++
-		fp := make([]complex128, len(psif))
-		for i := range fp {
-			// Mixer convention: next = x + beta*f, so pass f = -R_f.
-			fp[i] = half[i] - psif[i] - ihalf*rf[i]
+		rf, err := s.residual(psif)
+		if err != nil {
+			return nil, stats, err
 		}
-		psif = mixer.Mix(psif, fp)
+		stats.HApplications++
+		for i := range ws.fp {
+			// Mixer convention: next = x + beta*f, so pass f = -R_f.
+			ws.fp[i] = half[i] - psif[i] - ihalf*rf[i]
+		}
+		psif = mixer.Mix(psif, ws.fp)
 		rhoNew := s.density(psif)
 		stats.DensityError = potential.DensityDiff(s.D.G, rhoNew, rhof, s.Occ*float64(s.D.NB))
 		rhof = rhoNew
@@ -232,7 +316,10 @@ func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.St
 // evaluation" Fock application of the paper's per-step accounting). The
 // kinetic, nonlocal and exchange partial sums are allreduced; the
 // Hartree/XC/local terms come from the replicated potential assembly and
-// are already global. Collective.
+// are already global. The exchange term always goes through the exact
+// operator - on its own reference set the ACE compression reproduces it
+// exactly, so the once-per-step energy pays no accuracy for skipping the
+// compressed path. Collective.
 func (s *PTCNSolver) TotalEnergy(local []complex128, t float64) hamiltonian.EnergyBreakdown {
 	ng := s.D.G.NG
 	nbl := len(local) / ng

@@ -12,7 +12,9 @@
 package hamiltonian
 
 import (
+	"fmt"
 	"math"
+	"os"
 	"sync"
 
 	"ptdft/internal/fock"
@@ -39,7 +41,16 @@ type Hamiltonian struct {
 	aField    [3]float64
 	fockOp    *fock.Operator
 	ace       *fock.ACE
-	useACE    bool
+	useACE    bool // ACE requested; the active operator is ACEActive()
+
+	// ACE fallback bookkeeping: when the compression fails for one
+	// reference set (degenerate orbitals), that refresh falls back to the
+	// exact operator, the failure is counted and kept inspectable, and the
+	// next refresh retries - the request is never silently dropped for the
+	// rest of the run.
+	aceErr       error
+	aceFallbacks int
+	aceWarn      sync.Once
 
 	// Bloch-vector state for k-point sampling (section 3.1): the kinetic
 	// term becomes 1/2|G+k+A|^2 and the nonlocal projectors carry the
@@ -156,15 +167,32 @@ func (h *Hamiltonian) SetFockOrbitals(phi []complex128, nb int) {
 	if h.useACE {
 		ace, err := fock.NewACE(h.fockOp, phi, nb)
 		if err != nil {
-			// Fall back to the exact operator; the ACE compression can
-			// fail only for degenerate reference sets.
+			// Fall back to the exact operator for this reference set only
+			// (the compression can fail only for degenerate sets), surface
+			// the downgrade, and retry at the next refresh.
 			h.ace = nil
-			h.useACE = false
+			h.aceErr = err
+			h.aceFallbacks++
+			h.aceWarn.Do(func() {
+				fmt.Fprintf(os.Stderr, "hamiltonian: ACE compression failed, falling back to the exact exchange operator for this refresh: %v\n", err)
+			})
 			return
 		}
 		h.ace = ace
+		h.aceErr = nil
 	}
 }
+
+// ACEActive reports whether the exchange currently propagates through the
+// ACE compression (requested and successfully built for the present
+// reference set).
+func (h *Hamiltonian) ACEActive() bool { return h.hybrid && h.useACE && h.ace != nil }
+
+// ACEFallbacks reports how many exchange refreshes fell back to the exact
+// operator because the ACE construction failed, and the error of the most
+// recent refresh (nil when the current operator is the compression). Users
+// read this to learn which operator actually propagated their run.
+func (h *Hamiltonian) ACEFallbacks() (int, error) { return h.aceFallbacks, h.aceErr }
 
 // FockOperator exposes the current exchange operator (nil when not hybrid
 // or before the first SetFockOrbitals).
@@ -231,18 +259,29 @@ func (h *Hamiltonian) Apply(dst, src []complex128, nb int) {
 	if len(dst) != nb*ng || len(src) != nb*ng {
 		panic("hamiltonian: Apply buffer size mismatch")
 	}
-	fockReal := h.hybrid && h.fockOp != nil && !h.useACE
+	aceActive := h.ACEActive()
+	// A failed ACE build (h.ace == nil despite useACE) must still apply
+	// the exact operator: the fallback downgrades, never drops, the
+	// exchange.
+	fockReal := h.hybrid && h.fockOp != nil && !aceActive
 	fused := fockReal && h.fockOp.IsReference(src, nb)
 	nw := parallel.NumWorkers(nb)
 	wss := h.scratch.Acquire(nw)
-	parallel.ForWorker(nb, func(w, j int) {
-		h.applyOne(dst[j*ng:(j+1)*ng], src[j*ng:(j+1)*ng], wss[w], fockReal && !fused)
-	})
+	if nw <= 1 {
+		// Serial fast path: no closure, no goroutines (zero-alloc).
+		for j := 0; j < nb; j++ {
+			h.applyOne(dst[j*ng:(j+1)*ng], src[j*ng:(j+1)*ng], wss[0], fockReal && !fused)
+		}
+	} else {
+		parallel.ForWorker(nb, func(w, j int) {
+			h.applyOne(dst[j*ng:(j+1)*ng], src[j*ng:(j+1)*ng], wss[w], fockReal && !fused)
+		})
+	}
 	h.scratch.Release(wss)
 	if fused {
 		h.fockOp.ApplyToReference(dst)
 	}
-	if h.hybrid && h.useACE && h.ace != nil {
+	if aceActive {
 		h.ace.Apply(dst, src, nb)
 	}
 }

@@ -224,3 +224,54 @@ func TestBandLimitedProjectorConfig(t *testing.T) {
 		t.Errorf("band-limited projectors change H*psi by %g - too much", d)
 	}
 }
+
+// TestACEFallbackSurfacedAndRecoverable: a degenerate reference set (zero
+// band) makes the ACE Cholesky fail. The refresh must (1) report the
+// fallback through ACEActive/ACEFallbacks instead of silently downgrading,
+// (2) still apply the exact exchange operator, and (3) retry - a later
+// refresh with a healthy set reactivates the compression rather than
+// leaving useACE permanently disabled.
+func TestACEFallbackSurfacedAndRecoverable(t *testing.T) {
+	g := grid.MustNew(lattice.MustSiliconSupercell(1, 1, 1), 3)
+	nb := 4
+	h := New(g, siPots(), Config{Hybrid: true, UseACE: true, Params: xc.HSE06()})
+	psi := wavefunc.Random(g, nb, 11)
+	rho := potential.Density(g, psi, nb, 2)
+	h.UpdatePotential(rho)
+
+	// Degenerate set: band 0 zeroed makes -Phi^H V_X Phi singular.
+	degenerate := wavefunc.Clone(psi)
+	for i := 0; i < g.NG; i++ {
+		degenerate[i] = 0
+	}
+	h.SetFockOrbitals(degenerate, nb)
+	if h.ACEActive() {
+		t.Fatal("ACE reported active after a failed compression")
+	}
+	n, lastErr := h.ACEFallbacks()
+	if n != 1 || lastErr == nil {
+		t.Fatalf("fallback not surfaced: count=%d err=%v", n, lastErr)
+	}
+
+	// The fallback refresh must still carry the exact exchange: compare
+	// against a hybrid Hamiltonian that never requested ACE.
+	ref := New(g, siPots(), Config{Hybrid: true, Params: xc.HSE06()})
+	ref.UpdatePotential(rho)
+	ref.SetFockOrbitals(degenerate, nb)
+	hp := make([]complex128, nb*g.NG)
+	want := make([]complex128, nb*g.NG)
+	h.Apply(hp, psi, nb)
+	ref.Apply(want, psi, nb)
+	if d := wavefunc.MaxDiff(hp, want); d > 1e-12 {
+		t.Errorf("fallback apply differs from the exact hybrid operator by %g", d)
+	}
+
+	// A healthy refresh reactivates the compression.
+	h.SetFockOrbitals(psi, nb)
+	if !h.ACEActive() {
+		t.Fatal("ACE did not recover after a healthy refresh")
+	}
+	if _, lastErr := h.ACEFallbacks(); lastErr != nil {
+		t.Errorf("recovered operator still reports error: %v", lastErr)
+	}
+}

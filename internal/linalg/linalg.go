@@ -26,20 +26,32 @@ func Overlap(s, a, b []complex128, na, nb, ng int) {
 	if len(s) != na*nb || len(a) != na*ng || len(b) != nb*ng {
 		panic(fmt.Sprintf("linalg: Overlap dims mismatch na=%d nb=%d ng=%d", na, nb, ng))
 	}
-	parallel.For(na, func(i int) {
-		ai := a[i*ng : (i+1)*ng]
-		for j := 0; j < nb; j++ {
-			bj := b[j*ng : (j+1)*ng]
-			var re, im float64
-			for g := range ai {
-				x, y := ai[g], bj[g]
-				// conj(x)*y accumulated in parts to stay in registers.
-				re += real(x)*real(y) + imag(x)*imag(y)
-				im += real(x)*imag(y) - imag(x)*real(y)
-			}
-			s[i*nb+j] = complex(re, im)
+	if parallel.MaxWorkers() <= 1 {
+		// Inline loop: no closure, no goroutines (zero-alloc hot path).
+		for i := 0; i < na; i++ {
+			overlapRow(s, a, b, i, nb, ng)
 		}
+		return
+	}
+	parallel.For(na, func(i int) {
+		overlapRow(s, a, b, i, nb, ng)
 	})
+}
+
+// overlapRow fills row i of the overlap matrix.
+func overlapRow(s, a, b []complex128, i, nb, ng int) {
+	ai := a[i*ng : (i+1)*ng]
+	for j := 0; j < nb; j++ {
+		bj := b[j*ng : (j+1)*ng]
+		var re, im float64
+		for g := range ai {
+			x, y := ai[g], bj[g]
+			// conj(x)*y accumulated in parts to stay in registers.
+			re += real(x)*real(y) + imag(x)*imag(y)
+			im += real(x)*imag(y) - imag(x)*real(y)
+		}
+		s[i*nb+j] = complex(re, im)
+	}
 }
 
 // ApplyMatrix computes the band rotation dst_j = sum_i u[i][j] * src_i,
@@ -50,22 +62,34 @@ func ApplyMatrix(dst, src, u []complex128, nOut, nIn, ng int) {
 	if len(dst) != nOut*ng || len(src) != nIn*ng || len(u) != nIn*nOut {
 		panic(fmt.Sprintf("linalg: ApplyMatrix dims mismatch nOut=%d nIn=%d ng=%d", nOut, nIn, ng))
 	}
+	if parallel.MaxWorkers() <= 1 {
+		// Inline loop: no closure, no goroutines (zero-alloc hot path).
+		for j := 0; j < nOut; j++ {
+			applyMatrixCol(dst, src, u, j, nOut, nIn, ng)
+		}
+		return
+	}
 	parallel.For(nOut, func(j int) {
-		dj := dst[j*ng : (j+1)*ng]
-		for g := range dj {
-			dj[g] = 0
-		}
-		for i := 0; i < nIn; i++ {
-			c := u[i*nOut+j]
-			if c == 0 {
-				continue
-			}
-			si := src[i*ng : (i+1)*ng]
-			for g := range dj {
-				dj[g] += c * si[g]
-			}
-		}
+		applyMatrixCol(dst, src, u, j, nOut, nIn, ng)
 	})
+}
+
+// applyMatrixCol computes output band j of the rotation.
+func applyMatrixCol(dst, src, u []complex128, j, nOut, nIn, ng int) {
+	dj := dst[j*ng : (j+1)*ng]
+	for g := range dj {
+		dj[g] = 0
+	}
+	for i := 0; i < nIn; i++ {
+		c := u[i*nOut+j]
+		if c == 0 {
+			continue
+		}
+		si := src[i*ng : (i+1)*ng]
+		for g := range dj {
+			dj[g] += c * si[g]
+		}
+	}
 }
 
 // CholeskyLower factors the Hermitian positive definite n x n matrix a
@@ -112,26 +136,36 @@ func SolveLowerBands(l, x []complex128, n, ng int) {
 	if len(l) != n*n || len(x) != n*ng {
 		panic("linalg: SolveLowerBands dims mismatch")
 	}
+	if parallel.MaxWorkers() <= 1 {
+		// Inline loop: no closure, no goroutines (zero-alloc hot path).
+		solveLowerBandsRange(l, x, n, ng, 0, ng)
+		return
+	}
 	// Parallelize over G-space blocks; the band recurrence is sequential.
 	parallel.ForBlock(ng, func(lo, hi int) {
-		for i := 0; i < n; i++ {
-			xi := x[i*ng : (i+1)*ng]
-			for j := 0; j < i; j++ {
-				c := cmplx.Conj(l[i*n+j])
-				if c == 0 {
-					continue
-				}
-				xj := x[j*ng : (j+1)*ng]
-				for g := lo; g < hi; g++ {
-					xi[g] -= c * xj[g]
-				}
+		solveLowerBandsRange(l, x, n, ng, lo, hi)
+	})
+}
+
+// solveLowerBandsRange runs the forward substitution on G columns [lo, hi).
+func solveLowerBandsRange(l, x []complex128, n, ng, lo, hi int) {
+	for i := 0; i < n; i++ {
+		xi := x[i*ng : (i+1)*ng]
+		for j := 0; j < i; j++ {
+			c := cmplx.Conj(l[i*n+j])
+			if c == 0 {
+				continue
 			}
-			inv := 1 / complex(real(l[i*n+i]), 0)
+			xj := x[j*ng : (j+1)*ng]
 			for g := lo; g < hi; g++ {
-				xi[g] *= inv
+				xi[g] -= c * xj[g]
 			}
 		}
-	})
+		inv := 1 / complex(real(l[i*n+i]), 0)
+		for g := lo; g < hi; g++ {
+			xi[g] *= inv
+		}
+	}
 }
 
 // SolveLinear solves a x = b in place for k right-hand sides using Gaussian

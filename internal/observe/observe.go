@@ -133,9 +133,13 @@ func ExcitedElectrons(s *core.System, psi0, psi []complex128) float64 {
 // AbsorptionSpectrum computes the optical response from the current after
 // a delta kick A(t>0) = k: the complex conductivity sigma(omega) =
 // -J(omega)/k with J(omega) = int J(t) exp(i omega t - eta t) dt.
-// It returns (omegas, Re sigma) on nw points up to omegaMax (au).
-// eta is an exponential damping that models finite simulation time.
-func AbsorptionSpectrum(jz []float64, dt, kick, omegaMax float64, nw int, eta float64) (omegas, sigma []float64) {
+// Sample i of jz is taken at t = t0 + i*dt: propagation drivers that record
+// the current after each step (the first sample at t = dt) must pass
+// t0 = dt, or every sample is transformed with a phase one sample too
+// early, tilting the phase of Re sigma linearly in omega. It returns
+// (omegas, Re sigma) on nw points up to omegaMax (au). eta is an
+// exponential damping that models finite simulation time.
+func AbsorptionSpectrum(jz []float64, dt, t0, kick, omegaMax float64, nw int, eta float64) (omegas, sigma []float64) {
 	omegas = make([]float64, nw)
 	sigma = make([]float64, nw)
 	for w := 0; w < nw; w++ {
@@ -143,7 +147,7 @@ func AbsorptionSpectrum(jz []float64, dt, kick, omegaMax float64, nw int, eta fl
 		omegas[w] = omega
 		var acc complex128
 		for i, j := range jz {
-			t := float64(i) * dt
+			t := t0 + float64(i)*dt
 			acc += complex(j*math.Exp(-eta*t), 0) * cmplx.Exp(complex(0, omega*t))
 		}
 		acc *= complex(dt, 0)

@@ -2,6 +2,7 @@ package observe
 
 import (
 	"math"
+	"math/cmplx"
 	"testing"
 
 	"ptdft/internal/core"
@@ -104,7 +105,7 @@ func TestAbsorptionSpectrumPeakAtOscillation(t *testing.T) {
 		tt := float64(i) * dt
 		jz[i] = math.Cos(omega0*tt) * math.Exp(-0.002*tt)
 	}
-	omegas, sigma := AbsorptionSpectrum(jz, dt, -1.0, 1.0, 200, 0.002)
+	omegas, sigma := AbsorptionSpectrum(jz, dt, 0, -1.0, 1.0, 200, 0.002)
 	best, bestVal := 0.0, math.Inf(-1)
 	for i := range omegas {
 		if sigma[i] > bestVal {
@@ -119,16 +120,67 @@ func TestAbsorptionSpectrumPeakAtOscillation(t *testing.T) {
 
 func TestAbsorptionSpectrumLinearInKick(t *testing.T) {
 	jz := []float64{0.1, 0.2, 0.15, 0.05, -0.02}
-	_, s1 := AbsorptionSpectrum(jz, 0.1, 0.01, 1, 10, 0.01)
+	_, s1 := AbsorptionSpectrum(jz, 0.1, 0.1, 0.01, 1, 10, 0.01)
 	jz2 := make([]float64, len(jz))
 	for i := range jz2 {
 		jz2[i] = 2 * jz[i]
 	}
-	_, s2 := AbsorptionSpectrum(jz2, 0.1, 0.02, 1, 10, 0.01)
+	_, s2 := AbsorptionSpectrum(jz2, 0.1, 0.1, 0.02, 1, 10, 0.01)
 	for i := range s1 {
 		if math.Abs(s1[i]-s2[i]) > 1e-12 {
 			t.Fatal("sigma not invariant under linear response scaling")
 		}
+	}
+}
+
+// TestAbsorptionSpectrumTimeBase pins the t0 sample offset against the
+// closed form of the transform for an analytic damped cosine: with
+// j(t) = cos(omega0 t) exp(-gamma t) sampled at t_i = t0 + i*dt, the sum
+//
+//	S(omega) = dt * sum_i j(t_i) exp((i omega - eta) t_i)
+//
+// is a pair of geometric series. The pre-fix code phased sample i at
+// t = i*dt while recording it at t = (i+1)*dt - a linear-in-omega phase
+// tilt that this closed-form comparison catches immediately.
+func TestAbsorptionSpectrumTimeBase(t *testing.T) {
+	const (
+		omega0 = 0.35
+		gamma  = 0.004
+		eta    = 0.002
+		dt     = 0.25
+		t0     = dt // samples recorded after each step, as cmd/spectra does
+		n      = 1500
+		nw     = 64
+		wmax   = 1.0
+	)
+	jz := make([]float64, n)
+	for i := range jz {
+		ti := t0 + float64(i)*dt
+		jz[i] = math.Cos(omega0*ti) * math.Exp(-gamma*ti)
+	}
+	omegas, sigma := AbsorptionSpectrum(jz, dt, t0, -1.0, wmax, nw, eta)
+
+	// Closed form: cos splits into e^{+i omega0 t} and e^{-i omega0 t};
+	// each series has ratio r = exp((i(omega +- omega0) - eta - gamma) dt)
+	// and first term exp(z * t0).
+	series := func(omega, s0 float64) complex128 {
+		z := complex(-eta-gamma, omega+s0*omega0)
+		r := cmplx.Exp(z * complex(dt, 0))
+		first := cmplx.Exp(z * complex(t0, 0))
+		return first * (1 - cmplx.Pow(r, complex(n, 0))) / (1 - r)
+	}
+	for w := range omegas {
+		want := real(complex(dt/2, 0) * (series(omegas[w], 1) + series(omegas[w], -1)))
+		if d := math.Abs(sigma[w] - want); d > 1e-10*float64(n) {
+			t.Fatalf("omega=%g: sigma %g differs from analytic %g by %g", omegas[w], sigma[w], want, d)
+		}
+	}
+
+	// The same series phased without the offset must disagree visibly at
+	// high omega - the regression the t0 parameter exists to prevent.
+	_, tilted := AbsorptionSpectrum(jz, dt, 0, -1.0, wmax, nw, eta)
+	if d := math.Abs(tilted[nw-1] - sigma[nw-1]); d < 1e-6 {
+		t.Errorf("dropping t0 changed the high-frequency response by only %g; the phase pin is vacuous", d)
 	}
 }
 
