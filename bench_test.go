@@ -10,8 +10,10 @@
 package ptdft_test
 
 import (
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"ptdft/internal/core"
 	"ptdft/internal/dist"
@@ -572,6 +574,84 @@ func BenchmarkDistExchange(b *testing.B) {
 		})
 		recordBench(b, g, nb, -1)
 	})
+}
+
+// Tentpole ablation: multiple time stepping. One op is one full M = 4
+// cycle of hybrid PT-CN on 2 real ranks (2 keeps the per-rank exchange
+// share dominant at laptop scale; more ranks shrink nbl until transpose
+// and semi-local overheads mask the cadence); every step is timed individually
+// and the *median* per-step wall time is recorded into BENCH_fock.json -
+// the median is the honest MTS number, because an M-cycle is one expensive
+// outer step (ACE rebuild) followed by M-1 cheap frozen steps, and the
+// typical step is what production throughput is made of. "everystep" is
+// the exact-exchange reference every inner iteration of which pays nb
+// broadcasts and nb x nbl Poisson solves; "mts4" refreshes the compressed
+// operator every 4th step and propagates the rest with the held Xi (two
+// transposes plus one nb x nb allreduce per application). "hold1" is the
+// -acehold (M = 1) cadence - ACE rebuilt every step - which separates the
+// compression's contribution from the cadence's: hold1-vs-everystep
+// prices ACE alone, mts4-vs-hold1 the skipped rebuilds.
+func BenchmarkMTSStep(b *testing.B) {
+	g, psi0, nb := fixture(b)
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	const ranks, cycle = 2, 4
+	const dt = 1.0
+	for _, mode := range []struct {
+		name string
+		opt  dist.ExchangeOptions
+	}{
+		{"everystep", dist.ExchangeOptions{Strategy: dist.BcastOverlapped}},
+		{"hold1", dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: true, ACEHoldThroughSCF: true}},
+		{"mts4", dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: true, MTSPeriod: 4}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var stepNs []float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mpi.Run(ranks, func(c *mpi.Comm) {
+					d, err := dist.NewCtx(c, g, nb, 2)
+					if err != nil {
+						panic(err)
+					}
+					h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+					s := dist.NewPTCNSolver(d, h, xc.HSE06(), true, kick, core.DefaultPTCN(), mode.opt)
+					lo, hi := d.BandRange(c.Rank())
+					local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
+					for step := 0; step < cycle; step++ {
+						start := time.Now()
+						if local, _, err = s.Step(local, dt); err != nil {
+							panic(err)
+						}
+						if c.Rank() == 0 {
+							stepNs = append(stepNs, float64(time.Since(start).Nanoseconds()))
+						}
+					}
+				})
+			}
+			b.StopTimer()
+			med := median(stepNs)
+			b.ReportMetric(med, "ns/step-median")
+			if err := perf.RecordMeasurement("BENCH_fock.json", b.Name(), med, -1, g.N, nb, parallel.MaxWorkers()); err != nil {
+				b.Logf("bench record not written: %v", err)
+			}
+		})
+	}
+}
+
+// median returns the middle of a sample (mean of the two middles for even
+// counts); 0 for an empty sample.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 func BenchmarkRealAlltoallvTranspose(b *testing.B) {

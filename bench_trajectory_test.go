@@ -61,4 +61,20 @@ func TestBenchTrajectoryRecordsImprovement(t *testing.T) {
 	case build.NsPerOp > 2*exact.NsPerOp:
 		t.Errorf("recorded ACE build (%.0f ns) more than 2x one exact application (%.0f ns)", build.NsPerOp, exact.NsPerOp)
 	}
+
+	// The multiple-time-stepping ablation (label pr4-mts): the median
+	// per-step wall time of an M = 4 cycle - one ACE rebuild followed by
+	// three frozen-exchange steps - must be recorded at least 2x faster
+	// than the every-step exact-exchange reference. The median is the
+	// pinned quantity: it prices the typical (frozen) step of a production
+	// MTS run.
+	every, okV := bf.Find("BenchmarkMTSStep/everystep", "pr4-mts")
+	mts, okM := bf.Find("BenchmarkMTSStep/mts4", "pr4-mts")
+	switch {
+	case !okV || !okM:
+		t.Errorf("pr4-mts trajectory incomplete: everystep=%v mts4=%v", okV, okM)
+	case every.NsPerOp/mts.NsPerOp < 2:
+		t.Errorf("recorded MTS median-step speedup %.2fx < 2x (%.0f -> %.0f ns/step)",
+			every.NsPerOp/mts.NsPerOp, every.NsPerOp, mts.NsPerOp)
+	}
 }

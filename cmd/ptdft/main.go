@@ -6,6 +6,7 @@
 //	ptdft -cells 1,1,1 -ecut 4 -method ptcn -dt 24 -steps 10 -kick 0.02
 //	ptdft -cells 1,1,2 -hybrid -method ptcn -dt 50 -steps 4 -pulse 0.005
 //	ptdft -ranks 4 -method ptcn -steps 5
+//	ptdft -hybrid -ace -mts 4 -ranks 4 -steps 8   # exchange refreshed every 4th step
 //
 // Output: one line per step (time, energy, current, excited carriers, SCF
 // count) plus a trace breakdown, and optionally a CSV file for plotting.
@@ -43,6 +44,7 @@ type config struct {
 	hybrid   bool
 	useACE   bool
 	aceHold  bool
+	mts      int
 	method   string
 	dtAs     float64
 	steps    int
@@ -65,7 +67,8 @@ func parseFlags() (*config, error) {
 	flag.Float64Var(&c.ecut, "ecut", 4, "kinetic energy cutoff (Ha); the paper uses 10")
 	flag.BoolVar(&c.hybrid, "hybrid", false, "use the HSE-like hybrid functional (screened Fock exchange)")
 	flag.BoolVar(&c.useACE, "ace", false, "apply exchange through the ACE compression (serial and distributed runs)")
-	flag.BoolVar(&c.aceHold, "acehold", false, "hold the distributed ACE operator fixed through each step's inner SCF (Jia & Lin cadence; implies -ace)")
+	flag.BoolVar(&c.aceHold, "acehold", false, "hold the distributed ACE operator fixed through each step's inner SCF (Jia & Lin cadence; implies -ace; equals -mts 1)")
+	flag.IntVar(&c.mts, "mts", 0, "multiple time stepping: refresh the hybrid exchange every M steps, frozen in between (0 = off; requires -hybrid and -method ptcn)")
 	flag.StringVar(&c.method, "method", "ptcn", "time integrator: ptcn or rk4")
 	flag.Float64Var(&c.dtAs, "dt", 24, "time step in attoseconds (paper: 50 for PT-CN, 0.5 for RK4)")
 	flag.IntVar(&c.steps, "steps", 5, "number of propagation steps")
@@ -99,11 +102,21 @@ func parseFlags() (*config, error) {
 	if c.aceHold {
 		c.useACE = true
 		if c.ranks <= 1 {
-			return nil, fmt.Errorf("-acehold is a distributed cadence (requires -ranks > 1); the serial ACE always rebuilds per refresh")
+			return nil, fmt.Errorf("-acehold is a distributed cadence (requires -ranks > 1); the serial ACE always rebuilds per refresh - for a serial hold use -mts 1")
 		}
 	}
 	if c.useACE && !c.hybrid {
 		return nil, fmt.Errorf("-ace selects the exchange operator of the hybrid functional; add -hybrid")
+	}
+	switch {
+	case c.mts < 0:
+		return nil, fmt.Errorf("-mts wants a refresh period >= 1 (or 0 to disable), got %d", c.mts)
+	case c.mts > 0 && !c.hybrid:
+		return nil, fmt.Errorf("-mts freezes the hybrid exchange between outer steps; it needs -hybrid")
+	case c.mts > 0 && c.method != "ptcn":
+		return nil, fmt.Errorf("-mts is a PT-CN refresh cadence; -method %s does not support it", c.method)
+	case c.mts > 1 && c.aceHold:
+		return nil, fmt.Errorf("-acehold is exactly -mts 1; it cannot combine with -mts %d - pick one cadence", c.mts)
 	}
 	// Resolve the exchange strategy up front so a typo fails before the
 	// ground-state SCF runs, not after.
@@ -187,7 +200,7 @@ func run(cfg *config) error {
 		if err != nil {
 			return err
 		}
-		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut, cfg.hybrid); err != nil {
+		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut, cfg.hybrid, cfg.mts, cfg.useACE); err != nil {
 			return err
 		}
 		loaded = st
@@ -200,10 +213,11 @@ func run(cfg *config) error {
 	var records []stepRecord
 	var psiFinal []complex128
 	var tFinal float64
+	var mts mtsSnapshot
 	if cfg.ranks > 1 {
-		records, psiFinal, tFinal, err = runDistributed(cfg, g, gs.Psi, psiStart, nb, field, dt, t0, prof)
+		records, psiFinal, tFinal, mts, err = runDistributed(cfg, g, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
 	} else {
-		records, psiFinal, tFinal, err = runSerial(cfg, g, h, gs.Psi, psiStart, nb, field, dt, t0, prof)
+		records, psiFinal, tFinal, mts, err = runSerial(cfg, g, h, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
 	}
 	if err != nil {
 		return err
@@ -220,9 +234,14 @@ func run(cfg *config) error {
 		// The step counter is cumulative provenance: a resumed segment
 		// saves loaded.Step + its own steps, so a 600-step run split
 		// across allocations reports the true global step on every file.
+		// Under MTS the cadence phase (and, mid-cycle, the frozen exchange
+		// reference) rides along so the next segment lands on the correct
+		// outer/inner step with the identical frozen operator.
 		st := &checkpoint.State{
 			Time: tFinal, Step: checkpoint.ContinuationStep(loaded, cfg.steps), NBands: nb, NG: g.NG,
 			Natom: int64(cell.NumAtoms()), Ecut: cfg.ecut, Hybrid: cfg.hybrid, Psi: psiFinal,
+			MTSPeriod: int64(cfg.mts), MTSPhase: int64(mts.phase), MTSACE: cfg.useACE && cfg.mts > 0,
+			PhiRef: mts.phiRef,
 		}
 		if err := checkpoint.SaveFile(cfg.savePath, st); err != nil {
 			return err
@@ -240,17 +259,33 @@ func run(cfg *config) error {
 	return nil
 }
 
-func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, prof *trace.Profile) ([]stepRecord, []complex128, float64, error) {
+// mtsSnapshot carries the MTS cadence state out of a propagation for
+// checkpointing: the cycle phase at the end of the run and - mid-cycle
+// only - the frozen exchange reference of the last outer step.
+type mtsSnapshot struct {
+	phase  int
+	phiRef []complex128
+}
+
+func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, error) {
 	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: field}
 	psi := wavefunc.Clone(psi0)
 	var records []stepRecord
+	var snap mtsSnapshot
 	var stepFn func([]complex128, float64) ([]complex128, core.StepStats, error)
 	var now func() float64
+	var pt *core.PTCN
 	switch cfg.method {
 	case "ptcn":
-		p := core.NewPTCN(sys, core.DefaultPTCN())
-		p.Time = t0
-		stepFn, now = p.Step, func() float64 { return p.Time }
+		pt = core.NewPTCN(sys, core.DefaultPTCN())
+		pt.Time = t0
+		pt.MTS = cfg.mts
+		if loaded != nil {
+			if err := pt.ResumeMTS(int(loaded.MTSPhase), loaded.PhiRef); err != nil {
+				return nil, nil, 0, snap, err
+			}
+		}
+		stepFn, now = pt.Step, func() float64 { return pt.Time }
 	case "rk4":
 		r := core.NewRK4(sys)
 		r.Time = t0
@@ -262,7 +297,7 @@ func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi
 		var err error
 		psi, stats, err = stepFn(psi, dt)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("step %d: %w", i, err)
+			return nil, nil, 0, snap, fmt.Errorf("step %d: %w", i, err)
 		}
 		wall := time.Since(start).Seconds()
 		prof.Add("propagation step", wall)
@@ -287,24 +322,38 @@ func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi
 			fmt.Println("exchange operator: ACE (no fallbacks)")
 		}
 	}
-	return records, psi, now(), nil
+	if pt != nil && cfg.mts > 0 {
+		snap.phase = pt.MTSPhase()
+		if snap.phase != 0 && cfg.savePath != "" {
+			// The frozen-reference copy only matters to a checkpoint.
+			snap.phiRef = wavefunc.Clone(pt.MTSRef())
+		}
+		fmt.Printf("MTS cadence: exchange refreshed every %d steps (ended at cycle phase %d)\n", cfg.mts, snap.phase)
+	}
+	return records, psi, now(), snap, nil
 }
 
-func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, prof *trace.Profile) ([]stepRecord, []complex128, float64, error) {
+func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, error) {
+	var snap mtsSnapshot
 	if cfg.method != "ptcn" {
-		return nil, nil, 0, fmt.Errorf("distributed runs support -method ptcn only")
+		return nil, nil, 0, snap, fmt.Errorf("distributed runs support -method ptcn only")
 	}
 	if nb%cfg.ranks != 0 {
-		return nil, nil, 0, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
+		return nil, nil, 0, snap, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
 	}
 	exOpt := dist.ExchangeOptions{
 		Strategy:          cfg.exchange,
 		SinglePrecision:   cfg.single,
 		ACE:               cfg.useACE,
 		ACEHoldThroughSCF: cfg.aceHold,
+		MTSPeriod:         cfg.mts,
 	}
 	op := "none (semi-local)"
 	switch {
+	case cfg.hybrid && cfg.mts > 0 && cfg.useACE:
+		op = fmt.Sprintf("ACE frozen between outer steps (MTS M=%d)", cfg.mts)
+	case cfg.hybrid && cfg.mts > 0:
+		op = fmt.Sprintf("exact exchange frozen between outer steps (MTS M=%d)", cfg.mts)
 	case cfg.hybrid && cfg.aceHold:
 		op = "ACE (held through inner SCF)"
 	case cfg.hybrid && cfg.useACE:
@@ -331,6 +380,21 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 		s.Time = t0
 		lo, hi := d.BandRange(c.Rank())
 		local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
+		if loaded != nil {
+			// Land on the saved cycle phase; mid-cycle the frozen exchange
+			// reference of the last outer step is restored (and the
+			// compressed operator reconstructed from it, collectively).
+			var ref []complex128
+			if loaded.PhiRef != nil {
+				ref = loaded.PhiRef[lo*g.NG : hi*g.NG]
+			}
+			if err := s.ResumeMTS(int(loaded.MTSPhase), ref); err != nil {
+				if c.Rank() == 0 {
+					firstErr = err
+				}
+				return
+			}
+		}
 		for i := 0; i < cfg.steps; i++ {
 			start := time.Now()
 			var st core.StepStats
@@ -367,14 +431,29 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 			copy(psiFinal, full)
 			tFinal = s.Time
 		}
+		if cfg.mts > 0 {
+			// The phase and the save path are rank-symmetric, so the
+			// gather decision is a collective-safe branch; only mid-cycle
+			// saves need the frozen reference on the wire at all.
+			phase := s.MTSPhase()
+			if c.Rank() == 0 {
+				snap.phase = phase
+			}
+			if phase != 0 && cfg.savePath != "" {
+				ref := d.Gather(s.MTSRef())
+				if c.Rank() == 0 {
+					snap.phiRef = wavefunc.Clone(ref)
+				}
+			}
+		}
 	})
 	if firstErr != nil {
-		return nil, nil, 0, firstErr
+		return nil, nil, 0, snap, firstErr
 	}
 	fmt.Printf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB\n",
 		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
 		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
-	return records, psiFinal, tFinal, nil
+	return records, psiFinal, tFinal, snap, nil
 }
 
 func mb(b int64) float64 { return float64(b) / 1e6 }

@@ -177,6 +177,170 @@ func TestDistributedACEHoldCadence(t *testing.T) {
 	}
 }
 
+// TestDistributedMTSEqualsHoldAtM1: -mts 1 is a strict generalization
+// claim, so the M = 1 cycle must reproduce the -acehold trajectory bit for
+// bit - every step is an outer step, the rebuild happens at the same call
+// site from the same Psi_n, and nothing else differs.
+func TestDistributedMTSEqualsHoldAtM1(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	const steps, dt = 2, 1.0
+	hold, eHold, _ := propagate(t, g, psi0, nb, true, 2, steps, dt,
+		dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: true, ACEHoldThroughSCF: true})
+	mts, eMTS, _ := propagate(t, g, psi0, nb, true, 2, steps, dt,
+		dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: true, MTSPeriod: 1})
+	if d := wavefunc.MaxDiff(hold, mts); d != 0 {
+		t.Errorf("-mts 1 differs from -acehold by %g, want bit-identical", d)
+	}
+	if eHold != eMTS {
+		t.Errorf("-mts 1 energy %.15f differs from -acehold %.15f, want bit-identical", eMTS, eHold)
+	}
+}
+
+// TestDistributedMTSAccuracy bounds the physics cost of multiple time
+// stepping: an M-step cycle propagates the M-1 intermediate steps with the
+// exchange operator frozen at the last outer step, so the deviation from
+// the every-step hybrid reference must stay bounded - and grow with M. The
+// tolerances are pinned at the test discretization (dt = 1 au, A = 0.02,
+// Ecut = 3): the freeze error enters through dt x kick exactly like the
+// held-ACE compression error (~5e-4 per step), accumulated over the cycle.
+func TestDistributedMTSAccuracy(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	const steps, dt = 4, 1.0
+	ref, eRef, jRef := propagate(t, g, psi0, nb, true, 4, steps, dt,
+		dist.ExchangeOptions{Strategy: dist.BcastOverlapped})
+	rhoRef := potential.Density(g, ref, nb, 2)
+	for _, tc := range []struct {
+		m   int
+		ace bool
+		tol float64
+	}{
+		{2, true, 4e-3},
+		{4, true, 8e-3},
+		{4, false, 8e-3}, // frozen exact exchange: same cadence, no compression
+	} {
+		opt := dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: tc.ace, MTSPeriod: tc.m}
+		got, e, j := propagate(t, g, psi0, nb, true, 4, steps, dt, opt)
+		rho := potential.Density(g, got, nb, 2)
+		if d := potential.DensityDiff(g, rhoRef, rho, 32); d > tc.tol {
+			t.Errorf("M=%d ace=%v: density deviates from every-step hybrid by %g (tol %g)", tc.m, tc.ace, d, tc.tol)
+		}
+		if d := math.Abs(e - eRef); d > tc.tol {
+			t.Errorf("M=%d ace=%v: energy deviates by %g (tol %g)", tc.m, tc.ace, d, tc.tol)
+		}
+		// The dipole observable of the kick response: the induced current.
+		if d := math.Abs(j[2] - jRef[2]); d > tc.tol {
+			t.Errorf("M=%d ace=%v: current deviates by %g (tol %g)", tc.m, tc.ace, d, tc.tol)
+		}
+	}
+}
+
+// TestDistributedMTSCheckpointResume: interrupting an M = 4 cycle at step
+// k and resuming from the saved state - cumulative phase plus the frozen
+// exchange reference of the last outer step - must reproduce the
+// uninterrupted trajectory to 1e-10. This is the contract that makes MTS
+// production-safe: a job-allocation boundary cannot silently refresh the
+// exchange early.
+func TestDistributedMTSCheckpointResume(t *testing.T) {
+	g, psi0, nb := fixtureT(t)
+	const m, dt, ranks = 4, 1.0, 2
+	opt := dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: true, MTSPeriod: m}
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+
+	// Uninterrupted: 4 steps (one full cycle).
+	full, eFull, _ := propagate(t, g, psi0, nb, true, ranks, 4, dt, opt)
+
+	// Interrupted at k = 2 (mid-cycle): run 2 steps, capture the state a
+	// checkpoint would carry, then resume a fresh solver from it.
+	type saved struct {
+		psi, phiRef []complex128
+		phase       int
+		time        float64
+	}
+	var ckp saved
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		d, err := dist.NewCtx(c, g, nb, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), true, kick, core.DefaultPTCN(), opt)
+		lo, hi := d.BandRange(c.Rank())
+		local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
+		for i := 0; i < 2; i++ {
+			if local, _, err = s.Step(local, dt); err != nil {
+				t.Errorf("rank %d step %d: %v", c.Rank(), i, err)
+				return
+			}
+		}
+		psi := d.Gather(local)
+		ref := d.Gather(s.MTSRef())
+		if c.Rank() == 0 {
+			ckp = saved{
+				psi:    wavefunc.Clone(psi),
+				phiRef: wavefunc.Clone(ref),
+				phase:  s.MTSPhase(),
+				time:   s.Time,
+			}
+		}
+	})
+	if ckp.phase != 2 {
+		t.Fatalf("after 2 of %d steps the cycle phase is %d, want 2", m, ckp.phase)
+	}
+
+	resumed := make([]complex128, nb*g.NG)
+	var eResumed float64
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		d, err := dist.NewCtx(c, g, nb, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), true, kick, core.DefaultPTCN(), opt)
+		s.Time = ckp.time
+		lo, hi := d.BandRange(c.Rank())
+		if err := s.ResumeMTS(ckp.phase, ckp.phiRef[lo*g.NG:hi*g.NG]); err != nil {
+			t.Error(err)
+			return
+		}
+		local := wavefunc.Clone(ckp.psi[lo*g.NG : hi*g.NG])
+		for i := 2; i < 4; i++ {
+			if local, _, err = s.Step(local, dt); err != nil {
+				t.Errorf("rank %d step %d: %v", c.Rank(), i, err)
+				return
+			}
+		}
+		eb := s.TotalEnergy(local, s.Time)
+		psi := d.Gather(local)
+		if c.Rank() == 0 {
+			copy(resumed, psi)
+			eResumed = eb.Total()
+		}
+	})
+	if d := wavefunc.MaxDiff(full, resumed); d > 1e-10 {
+		t.Errorf("resumed mid-MTS-cycle trajectory deviates from uninterrupted by %g (tol 1e-10)", d)
+	}
+	if d := math.Abs(eFull - eResumed); d > 1e-10 {
+		t.Errorf("resumed energy deviates by %g (tol 1e-10)", d)
+	}
+
+	// Resuming mid-cycle without the frozen reference must fail loudly on
+	// every rank - never silently refresh the exchange early.
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		d, err := dist.NewCtx(c, g, nb, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), true, kick, core.DefaultPTCN(), opt)
+		if err := s.ResumeMTS(2, nil); err == nil {
+			t.Errorf("rank %d: mid-cycle resume without frozen reference accepted", c.Rank())
+		}
+	})
+}
+
 // TestDistributedHybridMatchesSerial checks the distributed hybrid path
 // against the serial hybrid propagator: same screened exchange, same
 // exchange attenuation of the semi-local functional.

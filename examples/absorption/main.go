@@ -4,6 +4,8 @@
 // kick excites all dipole-allowed transitions at once; the Fourier
 // transform of the induced current yields the dynamical conductivity,
 // whose peaks sit at the optical transition energies.
+//
+// Expected runtime: ~5-10 seconds on a laptop.
 package main
 
 import (

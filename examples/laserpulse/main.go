@@ -2,6 +2,9 @@
 // silicon supercell driven by a 380 nm Gaussian laser pulse, propagated
 // with PT-CN under the hybrid (screened exchange) functional. Prints the
 // field, the induced current, and the energy absorbed from the pulse.
+//
+// Expected runtime: ~10-15 seconds on a laptop (the hybrid ground state
+// and the per-step Fock applications dominate).
 package main
 
 import (

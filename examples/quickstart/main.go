@@ -1,7 +1,8 @@
 // Quickstart: the smallest end-to-end use of the library - converge the
 // Si8 ground state with the semi-local functional, kick it, and propagate
-// ten PT-CN steps of ~24 as while watching the conserved energy. Runs in
-// well under a minute on a laptop.
+// ten PT-CN steps of ~24 as while watching the conserved energy.
+//
+// Expected runtime: a few seconds on a laptop.
 package main
 
 import (

@@ -3,6 +3,8 @@
 // Summit model's projection for the paper's Si1536 system. Demonstrates
 // the band-index parallelization limit (ranks <= bands), the Alltoallv
 // layout transpose, and the communication accounting per collective class.
+//
+// Expected runtime: a few seconds on a laptop.
 package main
 
 import (

@@ -2,7 +2,12 @@
 // wavefunctions, simulation time, and metadata - so long runs (the paper's
 // production runs are 600 steps over many hours) can be split across job
 // allocations. The format is a versioned little-endian binary stream with
-// a whole-file checksum.
+// a whole-file checksum. Version 2 adds the multiple-time-stepping (MTS)
+// cadence state: the refresh period, the phase within the M-step cycle,
+// and - when the save lands mid-cycle - the frozen exchange reference
+// orbitals of the last outer step, so a resumed segment reconstructs the
+// identical frozen operator instead of silently refreshing early. Version
+// 1 files (no MTS section) still load.
 package checkpoint
 
 import (
@@ -17,7 +22,7 @@ import (
 
 const (
 	magic   = 0x70746466_74636b70 // "ptdftckp"
-	version = 1
+	version = 2
 )
 
 // State is the restartable simulation state.
@@ -30,12 +35,30 @@ type State struct {
 	Ecut   float64
 	Hybrid bool
 	Psi    []complex128 // band-major sphere coefficients
+
+	// MTS cadence state (version 2). MTSPeriod is the refresh period M the
+	// run propagated under (0 when MTS was off), MTSPhase the position
+	// within the M-step cycle at save time (Step mod M). MTSACE records
+	// which operator kind the frozen reference backs - the ACE compression
+	// or the exact exchange - so a resume cannot silently reconstruct the
+	// other kind from the same orbitals. PhiRef carries the frozen
+	// exchange reference orbitals of the last outer step - band-major,
+	// NBands x NG - and is present exactly when the save landed mid-cycle
+	// (MTSPhase > 0 on a hybrid run); at a cycle boundary the next step
+	// rebuilds from Psi anyway, so nothing is stored.
+	MTSPeriod int64
+	MTSPhase  int64
+	MTSACE    bool
+	PhiRef    []complex128
 }
 
-// Save writes the state to w.
+// Save writes the state to w (always in the current format version).
 func Save(w io.Writer, s *State) error {
 	if len(s.Psi) != s.NBands*s.NG {
 		return fmt.Errorf("checkpoint: psi length %d != %d bands x %d", len(s.Psi), s.NBands, s.NG)
+	}
+	if len(s.PhiRef) != 0 && len(s.PhiRef) != s.NBands*s.NG {
+		return fmt.Errorf("checkpoint: frozen reference length %d != %d bands x %d", len(s.PhiRef), s.NBands, s.NG)
 	}
 	bw := bufio.NewWriter(w)
 	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
@@ -44,24 +67,31 @@ func Save(w io.Writer, s *State) error {
 	if s.Hybrid {
 		hyb = 1
 	}
+	nref := uint64(0)
+	if len(s.PhiRef) > 0 {
+		nref = uint64(s.NBands)
+	}
+	ace := uint64(0)
+	if s.MTSACE {
+		ace = 1
+	}
 	header := []uint64{
 		magic, version,
 		math.Float64bits(s.Time), uint64(s.Step),
 		uint64(s.NBands), uint64(s.NG), uint64(s.Natom),
 		math.Float64bits(s.Ecut), uint64(hyb),
+		uint64(s.MTSPeriod), uint64(s.MTSPhase), ace, nref,
 	}
 	for _, h := range header {
 		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
 			return err
 		}
 	}
-	buf := make([]byte, 16)
-	for _, c := range s.Psi {
-		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(real(c)))
-		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(c)))
-		if _, err := mw.Write(buf); err != nil {
-			return err
-		}
+	if err := writeComplex(mw, s.Psi); err != nil {
+		return err
+	}
+	if err := writeComplex(mw, s.PhiRef); err != nil {
+		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
 		return err
@@ -69,7 +99,37 @@ func Save(w io.Writer, s *State) error {
 	return bw.Flush()
 }
 
-// Load reads a state from r, verifying the checksum.
+// writeComplex streams a complex slice as little-endian re/im float64
+// pairs.
+func writeComplex(w io.Writer, xs []complex128) error {
+	buf := make([]byte, 16)
+	for _, c := range xs {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(real(c)))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(c)))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readComplex fills a complex slice from little-endian re/im float64
+// pairs; what reports which block a truncation hit.
+func readComplex(r io.Reader, dst []complex128, what string) error {
+	buf := make([]byte, 16)
+	for i := range dst {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("checkpoint: %s truncated at coefficient %d: %w", what, i, err)
+		}
+		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+		dst[i] = complex(re, im)
+	}
+	return nil
+}
+
+// Load reads a state from r, verifying the checksum. Both format versions
+// load: version 1 files carry no MTS section and yield zero cadence state.
 func Load(r io.Reader) (*State, error) {
 	br := bufio.NewReader(r)
 	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
@@ -83,7 +143,7 @@ func Load(r io.Reader) (*State, error) {
 	if header[0] != magic {
 		return nil, fmt.Errorf("checkpoint: bad magic %#x", header[0])
 	}
-	if header[1] != version {
+	if header[1] != 1 && header[1] != version {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", header[1])
 	}
 	s := &State{
@@ -95,19 +155,35 @@ func Load(r io.Reader) (*State, error) {
 		Ecut:   math.Float64frombits(header[7]),
 		Hybrid: header[8] != 0,
 	}
+	nref := uint64(0)
+	if header[1] >= 2 {
+		ext := make([]uint64, 4)
+		for i := range ext {
+			if err := binary.Read(tr, binary.LittleEndian, &ext[i]); err != nil {
+				return nil, fmt.Errorf("checkpoint: short MTS header: %w", err)
+			}
+		}
+		s.MTSPeriod = int64(ext[0])
+		s.MTSPhase = int64(ext[1])
+		s.MTSACE = ext[2] != 0
+		nref = ext[3]
+	}
 	n := s.NBands * s.NG
 	if n < 0 || n > 1<<34 {
 		return nil, fmt.Errorf("checkpoint: implausible size %d x %d", s.NBands, s.NG)
 	}
+	if nref != 0 && nref != uint64(s.NBands) {
+		return nil, fmt.Errorf("checkpoint: frozen reference holds %d bands, want 0 or %d", nref, s.NBands)
+	}
 	s.Psi = make([]complex128, n)
-	buf := make([]byte, 16)
-	for i := range s.Psi {
-		if _, err := io.ReadFull(tr, buf); err != nil {
-			return nil, fmt.Errorf("checkpoint: truncated at coefficient %d: %w", i, err)
+	if err := readComplex(tr, s.Psi, "psi"); err != nil {
+		return nil, err
+	}
+	if nref > 0 {
+		s.PhiRef = make([]complex128, n)
+		if err := readComplex(tr, s.PhiRef, "frozen reference"); err != nil {
+			return nil, err
 		}
-		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
-		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
-		s.Psi[i] = complex(re, im)
 	}
 	want := crc.Sum64()
 	var got uint64
@@ -154,7 +230,14 @@ func LoadFile(path string) (*State, error) {
 // not. The hybrid flag matters as much as the grid: orbitals propagated
 // under the screened-exchange Hamiltonian must not silently continue under
 // a semi-local one (or vice versa) - the trajectories are not comparable.
-func (s *State) Compatible(nbands, ng int, natom int64, ecut float64, hybrid bool) error {
+// mts is the refresh period of the resuming run (0 for no MTS) and ace
+// whether its exchange goes through the ACE compression: a state saved
+// mid-cycle pins the whole cadence - the frozen operator it carries is
+// only meaningful under the same M *and* the same operator kind (the
+// exact exchange and the compression differ off the reference span) -
+// while a state saved at a cycle boundary may change both freely (the
+// next step is an outer step that rebuilds under any setting).
+func (s *State) Compatible(nbands, ng int, natom int64, ecut float64, hybrid bool, mts int, ace bool) error {
 	if s.NBands != nbands || s.NG != ng || s.Natom != natom || s.Ecut != ecut {
 		return fmt.Errorf("checkpoint: state for Si%d nb=%d NG=%d Ecut=%g does not match system Si%d nb=%d NG=%d Ecut=%g",
 			s.Natom, s.NBands, s.NG, s.Ecut, natom, nbands, ng, ecut)
@@ -163,7 +246,28 @@ func (s *State) Compatible(nbands, ng int, natom int64, ecut float64, hybrid boo
 		return fmt.Errorf("checkpoint: state propagated with hybrid=%v cannot resume under hybrid=%v (rerun with the matching -hybrid flag)",
 			s.Hybrid, hybrid)
 	}
+	if s.MTSPhase != 0 {
+		if int64(mts) != s.MTSPeriod {
+			return fmt.Errorf("checkpoint: state saved mid-MTS-cycle (step %d of an M=%d cycle) cannot resume under -mts %d (rerun with -mts %d, or restart from a cycle-boundary checkpoint)",
+				s.MTSPhase, s.MTSPeriod, mts, s.MTSPeriod)
+		}
+		if s.MTSACE != ace {
+			return fmt.Errorf("checkpoint: mid-cycle MTS state froze the %s operator and cannot resume applying the %s one (rerun with the matching -ace flag, or restart from a cycle-boundary checkpoint)",
+				operatorKind(s.MTSACE), operatorKind(ace))
+		}
+		if s.Hybrid && len(s.PhiRef) == 0 {
+			return fmt.Errorf("checkpoint: mid-cycle MTS state (phase %d of %d) is missing its frozen exchange reference", s.MTSPhase, s.MTSPeriod)
+		}
+	}
 	return nil
+}
+
+// operatorKind names the exchange operator an MTS cycle froze.
+func operatorKind(ace bool) string {
+	if ace {
+		return "ACE-compressed exchange"
+	}
+	return "exact exchange"
 }
 
 // ContinuationStep returns the global step counter after advancing `steps`

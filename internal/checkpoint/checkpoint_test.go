@@ -2,6 +2,10 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"io"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -35,6 +39,83 @@ func TestRoundTrip(t *testing.T) {
 	if got.Time != s.Time || got.Step != s.Step || got.NBands != s.NBands ||
 		got.NG != s.NG || got.Natom != s.Natom || got.Ecut != s.Ecut || got.Hybrid != s.Hybrid {
 		t.Errorf("metadata mismatch: %+v vs %+v", got, s)
+	}
+	for i := range s.Psi {
+		if got.Psi[i] != s.Psi[i] {
+			t.Fatalf("psi differs at %d", i)
+		}
+	}
+}
+
+// TestRoundTripMTS: the version-2 MTS section - period, phase, and the
+// frozen exchange reference of a mid-cycle save - survives a round trip
+// bit for bit.
+func TestRoundTripMTS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := sampleState(rng)
+	s.MTSPeriod, s.MTSPhase, s.MTSACE = 4, 3, true
+	s.PhiRef = make([]complex128, len(s.Psi))
+	for i := range s.PhiRef {
+		s.PhiRef[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MTSPeriod != 4 || got.MTSPhase != 3 || !got.MTSACE {
+		t.Errorf("MTS cadence lost: period %d phase %d ace %v", got.MTSPeriod, got.MTSPhase, got.MTSACE)
+	}
+	for i := range s.PhiRef {
+		if got.PhiRef[i] != s.PhiRef[i] {
+			t.Fatalf("frozen reference differs at %d", i)
+		}
+	}
+	// A reference block of the wrong shape must be rejected at save time.
+	s.PhiRef = s.PhiRef[:len(s.PhiRef)-1]
+	if err := Save(&bytes.Buffer{}, s); err == nil {
+		t.Error("misshapen frozen reference accepted")
+	}
+}
+
+// TestLoadVersion1 keeps the pre-MTS format readable: a hand-written
+// version-1 stream (9-word header, psi, checksum) loads with zero cadence
+// state.
+func TestLoadVersion1(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := sampleState(rng)
+	var raw bytes.Buffer
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	mw := io.MultiWriter(&raw, crc)
+	header := []uint64{
+		magic, 1,
+		math.Float64bits(s.Time), uint64(s.Step),
+		uint64(s.NBands), uint64(s.NG), uint64(s.Natom),
+		math.Float64bits(s.Ecut), 1,
+	}
+	for _, h := range header {
+		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writeComplex(mw, s.Psi); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&raw, binary.LittleEndian, crc.Sum64()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&raw)
+	if err != nil {
+		t.Fatalf("version-1 stream rejected: %v", err)
+	}
+	if got.Step != s.Step || !got.Hybrid {
+		t.Errorf("version-1 metadata lost: %+v", got)
+	}
+	if got.MTSPeriod != 0 || got.MTSPhase != 0 || got.MTSACE || got.PhiRef != nil {
+		t.Errorf("version-1 load invented MTS state: %+v", got)
 	}
 	for i := range s.Psi {
 		if got.Psi[i] != s.Psi[i] {
@@ -106,25 +187,70 @@ func TestSaveRejectsInconsistentState(t *testing.T) {
 
 func TestCompatible(t *testing.T) {
 	s := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true}
-	if err := s.Compatible(16, 257, 8, 3, true); err != nil {
+	if err := s.Compatible(16, 257, 8, 3, true, 0, false); err != nil {
 		t.Errorf("unexpected incompatibility: %v", err)
 	}
-	if err := s.Compatible(16, 257, 8, 4, true); err == nil {
+	if err := s.Compatible(16, 257, 8, 4, true, 0, false); err == nil {
 		t.Error("Ecut mismatch not detected")
 	}
-	if err := s.Compatible(32, 257, 8, 3, true); err == nil {
+	if err := s.Compatible(32, 257, 8, 3, true, 0, false); err == nil {
 		t.Error("band mismatch not detected")
 	}
 	// A hybrid checkpoint must not resume under a semi-local Hamiltonian
 	// (or vice versa) - the propagated trajectories are not interchangeable.
-	if err := s.Compatible(16, 257, 8, 3, false); err == nil {
+	if err := s.Compatible(16, 257, 8, 3, false, 0, false); err == nil {
 		t.Error("hybrid mismatch not detected")
 	} else if !strings.Contains(err.Error(), "hybrid") {
 		t.Errorf("hybrid mismatch error not descriptive: %v", err)
 	}
 	sl := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: false}
-	if err := sl.Compatible(16, 257, 8, 3, true); err == nil {
+	if err := sl.Compatible(16, 257, 8, 3, true, 0, false); err == nil {
 		t.Error("semi-local state resumed under hybrid not detected")
+	}
+}
+
+// TestCompatibleMTS pins the cadence rules of a resume: a mid-cycle state
+// is bound to its refresh period and must carry the frozen reference; a
+// cycle-boundary state may change cadence freely.
+func TestCompatibleMTS(t *testing.T) {
+	n := 16 * 257
+	mid := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true,
+		MTSPeriod: 4, MTSPhase: 2, MTSACE: true, PhiRef: make([]complex128, n)}
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, true); err != nil {
+		t.Errorf("matching mid-cycle resume rejected: %v", err)
+	}
+	if err := mid.Compatible(16, 257, 8, 3, true, 0, true); err == nil {
+		t.Error("mid-cycle state resumed without -mts not detected")
+	} else if !strings.Contains(err.Error(), "-mts") {
+		t.Errorf("cadence mismatch error not descriptive: %v", err)
+	}
+	if err := mid.Compatible(16, 257, 8, 3, true, 2, true); err == nil {
+		t.Error("mid-cycle period change not detected")
+	}
+	// The frozen operator kind is pinned too: the same orbitals back a
+	// different operator under -ace vs exact exchange, so flipping the
+	// flag mid-cycle must be loud, not a silent reconstruction.
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, false); err == nil {
+		t.Error("mid-cycle ACE-to-exact flip not detected")
+	} else if !strings.Contains(err.Error(), "-ace") {
+		t.Errorf("operator-kind mismatch error not descriptive: %v", err)
+	}
+	mid.MTSACE = false
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, true); err == nil {
+		t.Error("mid-cycle exact-to-ACE flip not detected")
+	}
+	mid.MTSACE = true
+	mid.PhiRef = nil
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, true); err == nil {
+		t.Error("mid-cycle state without frozen reference not detected")
+	}
+	// At a cycle boundary the cadence (period and operator kind) may
+	// change: the next step is an outer step under any setting.
+	boundary := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true, MTSPeriod: 4, MTSACE: true}
+	for _, mts := range []int{0, 1, 2, 4, 8} {
+		if err := boundary.Compatible(16, 257, 8, 3, true, mts, false); err != nil {
+			t.Errorf("cycle-boundary resume under -mts %d rejected: %v", mts, err)
+		}
 	}
 }
 

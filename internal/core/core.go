@@ -112,11 +112,69 @@ type PTCN struct {
 	Sys  *System
 	Opt  PTCNOptions
 	Time float64 // current simulation time (au)
+
+	// MTS is the multiple-time-stepping refresh period M (Mandal et al.,
+	// arXiv:2110.07670, adapted to PT-CN): when M >= 1 and the Hamiltonian
+	// is hybrid, the Fock/ACE exchange operator is rebuilt from Psi_n only
+	// on outer steps (StepIndex mod M == 0) and held frozen - through the
+	// inner SCF and through the M-1 intermediate steps - while the
+	// semi-local physics advances every step. 0 (the default) refreshes
+	// the exchange at every H rebuild, the pre-MTS behavior.
+	MTS int
+	// StepIndex counts completed steps and anchors the MTS cycle; set it
+	// (or call ResumeMTS) when resuming from a checkpoint so the segment
+	// lands on the correct outer/inner phase.
+	StepIndex int
 }
 
 // NewPTCN builds a PT-CN propagator starting at t = 0.
 func NewPTCN(sys *System, opt PTCNOptions) *PTCN {
 	return &PTCN{Sys: sys, Opt: opt}
+}
+
+// MTSPhase reports the position within the current MTS cycle, in [0, M);
+// 0 when MTS is off. A checkpoint taken at phase 0 needs no frozen
+// reference - the next step is an outer step and rebuilds from Psi_n.
+func (p *PTCN) MTSPhase() int {
+	if p.MTS > 0 {
+		return p.StepIndex % p.MTS
+	}
+	return 0
+}
+
+// MTSRef exposes the frozen exchange reference of the current MTS cycle
+// (nil when MTS is off, no hold is active, or the functional is not
+// hybrid), for checkpoint persistence.
+func (p *PTCN) MTSRef() []complex128 {
+	if p.MTS <= 0 {
+		return nil
+	}
+	return p.Sys.H.FrozenFockRef()
+}
+
+// ResumeMTS restores the MTS cadence after a checkpoint load: phase is the
+// loaded cumulative step modulo M, phiRef the frozen exchange reference
+// saved at the last outer step (required mid-cycle, ignored at phase 0
+// where the next step rebuilds anyway).
+func (p *PTCN) ResumeMTS(phase int, phiRef []complex128) error {
+	if p.MTS <= 0 {
+		if phase != 0 {
+			return fmt.Errorf("core: ResumeMTS(phase=%d) without MTS", phase)
+		}
+		return nil
+	}
+	if phase < 0 || phase >= p.MTS {
+		return fmt.Errorf("core: ResumeMTS phase %d outside cycle [0, %d)", phase, p.MTS)
+	}
+	p.StepIndex = phase
+	if phase == 0 || !p.Sys.H.Hybrid() {
+		return nil
+	}
+	if phiRef == nil {
+		return fmt.Errorf("core: resuming mid-cycle (phase %d of %d) needs the frozen exchange reference", phase, p.MTS)
+	}
+	p.Sys.H.SetFockOrbitalsFrozen(phiRef, p.Sys.NB)
+	return nil
 }
 
 // Step advances psi by dt using Algorithm 1 and returns the new orbitals.
@@ -125,6 +183,21 @@ func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, erro
 	g, h, nb := s.G, s.H, s.NB
 	ng := g.NG
 	var stats StepStats
+
+	// Exchange refresh cadence. MTS outer steps freeze the operator at
+	// Psi_n; the hold makes every SetFockOrbitals below (and in the
+	// observable evaluations between steps) a no-op until the next outer
+	// step. Without MTS this propagator owns the per-refresh schedule, so
+	// a hold left behind by a previous MTS propagator on the same
+	// Hamiltonian is released rather than silently freezing this run.
+	if h.Hybrid() {
+		switch {
+		case p.MTS > 0 && p.StepIndex%p.MTS == 0:
+			h.SetFockOrbitalsFrozen(psi, nb)
+		case p.MTS <= 0 && h.FockHeld():
+			h.ReleaseFockHold()
+		}
+	}
 
 	// Line 1: residual Rn at time tn with the current state's H.
 	s.Prepare(psi, p.Time)
@@ -183,6 +256,7 @@ func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, erro
 		return nil, stats, fmt.Errorf("core: orthogonalization failed: %w", err)
 	}
 	p.Time = tNext
+	p.StepIndex++
 	return psif, stats, nil
 }
 
@@ -217,6 +291,12 @@ func (r *RK4) derivative(psi []complex128, t float64) []complex128 {
 
 // Step advances psi by dt with four H rebuilds/applications.
 func (r *RK4) Step(psi []complex128, dt float64) ([]complex128, StepStats, error) {
+	// RK4 rebuilds the exchange reference at every derivative; a frozen
+	// hold left on the Hamiltonian by an MTS propagator would silently
+	// stale it, so take the refresh schedule back.
+	if r.Sys.H.FockHeld() {
+		r.Sys.H.ReleaseFockHold()
+	}
 	n := len(psi)
 	var stats StepStats
 	add := func(base []complex128, k []complex128, c float64) []complex128 {

@@ -109,6 +109,11 @@ func TestDistStepAllocs(t *testing.T) {
 		{"exact_bcast", ExchangeOptions{Strategy: BcastSequential}},
 		{"exact_roundrobin", ExchangeOptions{Strategy: RoundRobin}},
 		{"ace", ExchangeOptions{Strategy: BcastSequential, ACE: true}},
+		// The MTS hold cadences: the frozen-operator residual path (the
+		// cost that dominates the M-1 intermediate steps) must stay
+		// zero-alloc too.
+		{"ace_mts", ExchangeOptions{Strategy: BcastSequential, ACE: true, MTSPeriod: 4}},
+		{"exact_mts", ExchangeOptions{Strategy: BcastSequential, MTSPeriod: 4}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			mpi.Run(1, func(c *mpi.Comm) {
@@ -122,6 +127,13 @@ func TestDistStepAllocs(t *testing.T) {
 				local := wavefunc.Clone(psi)
 				rho := s.density(local)
 				s.prepare(rho, 0)
+				// Prime the hold-cadence state the way an outer step
+				// would: mark the compressed operator stale and freeze
+				// the exact-path reference at Psi_n.
+				if s.mtsPeriod() > 0 {
+					s.aceStale = true
+					s.freezeRef(local)
+				}
 				ihalf := complex(0, 0.5)
 				iteration := func() {
 					rf, err := s.residual(local)

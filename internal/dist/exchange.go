@@ -99,6 +99,18 @@ type ExchangeOptions struct {
 	// keeps PT+ACE numerically equivalent to the exact-exchange path (the
 	// compression is exact on its own reference span).
 	ACEHoldThroughSCF bool
+	// MTSPeriod enables multiple time stepping (Mandal et al.,
+	// arXiv:2110.07670, adapted to the PT-CN gauge): the hybrid exchange
+	// operator is refreshed from Psi_n only on "outer" steps - every M-th
+	// step - and the frozen operator (the held Xi in ACE mode, the frozen
+	// reference orbitals of the exact operator otherwise) propagates the
+	// M-1 intermediate steps together with the per-step semi-local
+	// physics. 0 disables MTS (the cadence is then per-refresh, or
+	// once-per-step under ACEHoldThroughSCF); 1 is exactly the
+	// ACEHoldThroughSCF cadence - every step is an outer step - which is
+	// what makes -acehold the M = 1 special case of -mts. Consumed by
+	// PTCNSolver.
+	MTSPeriod int
 }
 
 // ExchangeWorkspace holds every buffer one rank's FockExchange needs:

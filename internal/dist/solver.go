@@ -52,10 +52,21 @@ type PTCNSolver struct {
 	ws     *stepWorkspace
 	ace    *ACE
 	// aceStale marks the compressed operator for a rebuild at the next
-	// exchange application; Step raises it once per step, so the Jia & Lin
-	// hold cadence rebuilds from Psi_n and then holds through the inner
-	// SCF iterations.
+	// exchange application; Step raises it on outer steps, so the hold
+	// cadences (acehold, MTS) rebuild from Psi_n and then hold through
+	// the inner SCF iterations - and, under MTS, through the M-1
+	// intermediate steps that follow.
 	aceStale bool
+	// stepIndex counts completed Steps and anchors the MTS cycle: step n
+	// is an outer step iff n mod M == 0. ResumeMTS restores it from a
+	// checkpoint so a resumed segment lands on the correct cycle phase.
+	stepIndex int
+	// mtsPhi is this rank's frozen exchange reference block, copied from
+	// Psi_n at the last outer step of a hold cadence. The exact-exchange
+	// path ships it as the reference of V_X[Phi_frozen]; the ACE path
+	// retains it only so checkpoints can persist the reference Xi was
+	// built from.
+	mtsPhi []complex128
 }
 
 // stepWorkspace owns every band-block buffer of the solver hot loop, bound
@@ -145,22 +156,110 @@ func (s *PTCNSolver) exchangeWS() *ExchangeWorkspace {
 	return s.exWS
 }
 
-// exchange applies the distributed Fock exchange through the solver's
-// reusable workspace, so the per-iteration exchange performs no band-block
-// allocations.
-func (s *PTCNSolver) exchange(local []complex128) []complex128 {
-	return s.D.FockExchangeWS(local, local, s.kernel, s.Hyb.Alpha, s.Ex, s.exchangeWS())
+// exchange applies the distributed Fock exchange V_X[phi] psi through the
+// solver's reusable workspace, so the per-iteration exchange performs no
+// band-block allocations. phi is the reference block the strategies ship
+// (the iterate itself, or the frozen MTS reference).
+func (s *PTCNSolver) exchange(phi, psi []complex128) []complex128 {
+	return s.D.FockExchangeWS(phi, psi, s.kernel, s.Hyb.Alpha, s.Ex, s.exchangeWS())
+}
+
+// mtsPeriod resolves the effective exchange refresh cadence: the explicit
+// MTS period when set, 1 under the Jia & Lin hold cadence (-acehold is the
+// M = 1 special case of -mts), 0 for per-refresh rebuilds.
+// ACEHoldThroughSCF is an ACE cadence and stays inert on the exact path
+// (its pre-MTS contract); freezing the exact exchange requires an explicit
+// MTSPeriod.
+func (s *PTCNSolver) mtsPeriod() int {
+	if s.Ex.MTSPeriod > 0 {
+		return s.Ex.MTSPeriod
+	}
+	if s.Ex.ACEHoldThroughSCF && s.Ex.ACE {
+		return 1
+	}
+	return 0
+}
+
+// freezeRef snapshots this rank's band block as the frozen exchange
+// reference of the current MTS cycle. The buffer is solver-owned and
+// reused, keeping the outer-step refresh allocation-free in steady state.
+func (s *PTCNSolver) freezeRef(local []complex128) {
+	if len(s.mtsPhi) != len(local) {
+		s.mtsPhi = make([]complex128, len(local))
+	}
+	copy(s.mtsPhi, local)
+}
+
+// MTSPhase reports the position within the current MTS cycle: the number
+// of steps completed since the last outer step, in [0, M). It is 0 when no
+// hold cadence is active, and 0 at cycle boundaries - where a checkpoint
+// needs no frozen reference because the next step rebuilds anyway.
+func (s *PTCNSolver) MTSPhase() int {
+	if m := s.mtsPeriod(); m > 0 {
+		return s.stepIndex % m
+	}
+	return 0
+}
+
+// MTSRef exposes this rank's frozen exchange reference block (nil before
+// the first outer step or when no hold cadence is active). Checkpointing
+// gathers it so a resumed segment can reconstruct the frozen operator.
+func (s *PTCNSolver) MTSRef() []complex128 {
+	if s.mtsPeriod() == 0 {
+		return nil
+	}
+	return s.mtsPhi
+}
+
+// ResumeMTS restores the multiple-time-stepping cadence state after a
+// checkpoint load: phase is the position within the M-step cycle (the
+// loaded cumulative step modulo M) and phiRef is this rank's band block of
+// the frozen exchange reference saved at the last outer step - required
+// when phase > 0, ignored at a cycle boundary (the next step is an outer
+// step and rebuilds from Psi_n anyway). Collective when the compressed
+// operator must be reconstructed: all ranks call it together.
+func (s *PTCNSolver) ResumeMTS(phase int, phiRef []complex128) error {
+	m := s.mtsPeriod()
+	if m == 0 {
+		if phase != 0 {
+			return fmt.Errorf("dist: ResumeMTS(phase=%d) without an MTS/hold cadence", phase)
+		}
+		return nil
+	}
+	if phase < 0 || phase >= m {
+		return fmt.Errorf("dist: ResumeMTS phase %d outside cycle [0, %d)", phase, m)
+	}
+	s.stepIndex = phase
+	if phase == 0 || !s.Hybrid {
+		return nil
+	}
+	if phiRef == nil {
+		return fmt.Errorf("dist: resuming mid-cycle (phase %d of %d) needs the frozen exchange reference", phase, m)
+	}
+	s.freezeRef(phiRef)
+	if s.Ex.ACE {
+		if s.ace == nil {
+			s.ace = s.D.NewACE()
+		}
+		if err := s.ace.Rebuild(s.mtsPhi, nil, s.kernel, s.Hyb.Alpha, s.Ex, s.exchangeWS()); err != nil {
+			return err
+		}
+		s.aceStale = false
+	}
+	return nil
 }
 
 // applyH computes H psi into hp for the local band block: the semi-local
-// part per band, plus the distributed Fock exchange with the current block
-// as its own reference (V_X[P] with P from the iterate, as in Alg. 1 line
-// 5). localG is the caller's transpose of local into the G layout, reused
-// by the ACE build and application so the iterate crosses the wire once
-// per residual. In ACE mode the exchange goes through the compressed
-// operator, rebuilt per the configured cadence; a failed rebuild
-// (degenerate reference set) is a loud, rank-symmetric error, never a
-// silent fallback to the exact operator.
+// part per band, plus the distributed Fock exchange. Without a hold
+// cadence the exchange takes the current block as its own reference
+// (V_X[P] with P from the iterate, as in Alg. 1 line 5); under acehold or
+// MTS the reference is frozen at the Psi_n of the last outer step. localG
+// is the caller's transpose of local into the G layout, reused by the ACE
+// build and application so the iterate crosses the wire once per residual.
+// In ACE mode the exchange goes through the compressed operator, rebuilt
+// per the configured cadence; a failed rebuild (degenerate reference set)
+// is a loud, rank-symmetric error, never a silent fallback to the exact
+// operator.
 func (s *PTCNSolver) applyH(hp, local, localG []complex128) error {
 	nbl := len(local) / s.D.G.NG
 	s.H.Apply(hp, local, nbl)
@@ -171,7 +270,7 @@ func (s *PTCNSolver) applyH(hp, local, localG []complex128) error {
 		if s.ace == nil {
 			s.ace = s.D.NewACE()
 		}
-		if s.aceStale || !s.Ex.ACEHoldThroughSCF {
+		if s.aceStale || s.mtsPeriod() == 0 {
 			if err := s.ace.Rebuild(local, localG, s.kernel, s.Hyb.Alpha, s.Ex, s.exchangeWS()); err != nil {
 				return err
 			}
@@ -180,7 +279,13 @@ func (s *PTCNSolver) applyH(hp, local, localG []complex128) error {
 		s.ace.ApplyFromG(hp, localG)
 		return nil
 	}
-	vx := s.exchange(local)
+	phi := local
+	if s.mtsPeriod() > 0 {
+		// Exact exchange under a hold cadence: the frozen Psi_n of the
+		// last outer step is the reference the strategies ship.
+		phi = s.mtsPhi
+	}
+	vx := s.exchange(phi, local)
 	for i := range hp {
 		hp[i] += vx[i]
 	}
@@ -251,8 +356,20 @@ func (s *PTCNSolver) orthonormalize(local []complex128) ([]complex128, float64, 
 func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.StepStats, error) {
 	var stats core.StepStats
 	ws := s.stepWS()
-	// One compressed-exchange rebuild per step under the hold cadence.
-	s.aceStale = true
+	// Exchange refresh cadence. Outer steps (every step without MTS; every
+	// M-th step with it) mark the compressed operator stale - so the hold
+	// cadences rebuild from Psi_n at the step's first exchange application
+	// - and freeze the exact-path reference at Psi_n. Intermediate MTS
+	// steps touch neither: the operator of the last outer step propagates.
+	if m := s.mtsPeriod(); m == 0 || s.stepIndex%m == 0 {
+		s.aceStale = true
+		// The frozen reference backs the exact-path application (any M)
+		// and mid-cycle checkpointing (M > 1); under ACE at M = 1 neither
+		// reads it, so the hold cadence skips the per-step copy.
+		if s.Hybrid && m > 0 && (!s.Ex.ACE || m > 1) {
+			s.freezeRef(local)
+		}
+	}
 
 	// Residual at t_n with the current state's H.
 	rho := s.density(local)
@@ -308,6 +425,7 @@ func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.St
 	}
 	stats.OrthogonalityE = oerr
 	s.Time = tNext
+	s.stepIndex++
 	return out, stats, nil
 }
 
@@ -328,7 +446,7 @@ func (s *PTCNSolver) TotalEnergy(local []complex128, t float64) hamiltonian.Ener
 	eb := s.H.TotalEnergy(local, nbl, s.Occ)
 	part := []float64{eb.Kinetic, eb.Nonlocal, 0}
 	if s.Hybrid {
-		vx := s.exchange(local)
+		vx := s.exchange(local, local)
 		var ex float64
 		for j := 0; j < nbl; j++ {
 			ex += real(linalg.Dot(local[j*ng:(j+1)*ng], vx[j*ng:(j+1)*ng]))

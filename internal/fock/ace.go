@@ -1,3 +1,14 @@
+// Serial adaptively compressed exchange (ACE): the rank-nb projector
+// compression of the Fock operator (Lin, JCTC 2016; combined with the PT
+// gauge in Jia & Lin, arXiv:1809.09609 - refs [24] and [22] of the paper),
+// built and applied on the full band-major layout (nb x NG sphere
+// coefficients, no distribution - the band-slab/G-slab split of this
+// construction lives in internal/dist). It reproduces section 1's
+// PT-vs-PT+ACE trade-off at laptop scale: construction costs one exact
+// exchange application plus an nb x nb Cholesky, after which each
+// application is nb dot products instead of nb Poisson solves - the
+// operator the hamiltonian package holds through the serial acehold/MTS
+// cadences.
 package fock
 
 import (

@@ -1,0 +1,28 @@
+#!/bin/sh
+# docs-lint: every internal/ package must carry a package comment - a
+# "// Package <name> ..." doc comment on a non-test file - stating what the
+# package is for. CI runs this on every PR; run it locally from the module
+# root with: sh scripts/docslint.sh
+set -u
+fail=0
+for d in internal/*/; do
+	pkg=$(basename "$d")
+	found=0
+	for f in "$d"*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		if grep -q "^// Package $pkg" "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "docs-lint: package $pkg ($d) has no '// Package $pkg' comment" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -eq 0 ]; then
+	echo "docs-lint: all internal packages documented"
+fi
+exit $fail
