@@ -20,6 +20,7 @@ import (
 	"ptdft/internal/fock"
 	"ptdft/internal/grid"
 	"ptdft/internal/hamiltonian"
+	"ptdft/internal/ion"
 	"ptdft/internal/laser"
 	"ptdft/internal/lattice"
 	"ptdft/internal/mixing"
@@ -637,6 +638,79 @@ func BenchmarkMTSStep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Tentpole ablation (PR 5): the Ehrenfest coupled step. One "step" op is
+// one full ion step on 2 real ranks - half kick, drift, geometry rebuild
+// (projectors + local potential), one coupled hybrid PT-CN electronic
+// step, and the closing force build + half kick. One "forces" op is the
+// Hellmann-Feynman force assembly alone (local structure-factor gradients
+// + nonlocal projector gradients + Ewald, with its collectives). The pair
+// prices what ion dynamics adds on top of a bare electronic step: the
+// trajectory check pins the force build at a fraction of the coupled
+// step, so MD composes with the hybrid cadences instead of dominating
+// them.
+func BenchmarkEhrenfestStep(b *testing.B) {
+	g, psi0, nb := fixture(b)
+	const ranks = 2
+	pots := siPots()
+	newCell := func() *lattice.Cell {
+		c := lattice.MustSiliconSupercell(1, 1, 1)
+		if err := c.DisplaceAtom(0, [3]float64{0.2, 0, 0}); err != nil {
+			panic(err)
+		}
+		return c
+	}
+	b.Run("step", func(b *testing.B) {
+		b.ReportAllocs()
+		mpi.Run(ranks, func(c *mpi.Comm) {
+			cellR := newCell()
+			gR := grid.MustNew(cellR, 3)
+			d, err := dist.NewCtx(c, gR, nb, 2)
+			if err != nil {
+				panic(err)
+			}
+			h := hamiltonian.New(gR, pots, hamiltonian.Config{IonDynamics: true})
+			s := dist.NewPTCNSolver(d, h, xc.HSE06(), true, nil, core.DefaultPTCN(), dist.ExchangeOptions{Strategy: dist.BcastOverlapped})
+			lo, hi := d.BandRange(c.Rank())
+			de := &ion.DistElectrons{S: s, Local: wavefunc.Clone(psi0[lo*gR.NG : hi*gR.NG]), Pots: pots}
+			v, err := ion.NewVerlet(cellR, de, 2.0, 1)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if err := v.Step(); err != nil {
+					panic(err)
+				}
+			}
+		})
+		recordBench(b, g, nb, -1)
+	})
+	b.Run("forces", func(b *testing.B) {
+		b.ReportAllocs()
+		mpi.Run(ranks, func(c *mpi.Comm) {
+			cellR := newCell()
+			gR := grid.MustNew(cellR, 3)
+			d, err := dist.NewCtx(c, gR, nb, 2)
+			if err != nil {
+				panic(err)
+			}
+			h := hamiltonian.New(gR, pots, hamiltonian.Config{IonDynamics: true})
+			s := dist.NewPTCNSolver(d, h, xc.HSE06(), true, nil, core.DefaultPTCN(), dist.ExchangeOptions{Strategy: dist.BcastOverlapped})
+			lo, hi := d.BandRange(c.Rank())
+			de := &ion.DistElectrons{S: s, Local: wavefunc.Clone(psi0[lo*gR.NG : hi*gR.NG]), Pots: pots}
+			v, err := ion.NewVerlet(cellR, de, 2.0, 1)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if err := v.ComputeForces(); err != nil {
+					panic(err)
+				}
+			}
+		})
+		recordBench(b, g, nb, -1)
+	})
 }
 
 // median returns the middle of a sample (mean of the two middles for even

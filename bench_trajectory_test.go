@@ -77,4 +77,23 @@ func TestBenchTrajectoryRecordsImprovement(t *testing.T) {
 		t.Errorf("recorded MTS median-step speedup %.2fx < 2x (%.0f -> %.0f ns/step)",
 			every.NsPerOp/mts.NsPerOp, every.NsPerOp, mts.NsPerOp)
 	}
+
+	// The Ehrenfest coupled step (label pr5-ehrenfest): one op of "step"
+	// is a full ion step on 2 ranks - half kick, midpoint drift +
+	// geometry rebuild, one coupled hybrid PT-CN step, second drift +
+	// rebuild, force build, half kick - and "forces" is the
+	// Hellmann-Feynman force assembly alone. The pin is the composition
+	// claim of the ion subsystem: what MD adds on top of the electronic
+	// step (the force build, bounded here at half a step) must stay a
+	// fraction of the step, so ion dynamics rides on the hybrid cadences
+	// instead of dominating them.
+	step, okS := bf.Find("BenchmarkEhrenfestStep/step", "pr5-ehrenfest")
+	forces, okF := bf.Find("BenchmarkEhrenfestStep/forces", "pr5-ehrenfest")
+	switch {
+	case !okS || !okF:
+		t.Errorf("pr5-ehrenfest trajectory incomplete: step=%v forces=%v", okS, okF)
+	case forces.NsPerOp > 0.5*step.NsPerOp:
+		t.Errorf("recorded force build (%.0f ns) exceeds half the coupled Ehrenfest step (%.0f ns)",
+			forces.NsPerOp, step.NsPerOp)
+	}
 }

@@ -7,15 +7,19 @@
 //	ptdft -cells 1,1,2 -hybrid -method ptcn -dt 50 -steps 4 -pulse 0.005
 //	ptdft -ranks 4 -method ptcn -steps 5
 //	ptdft -hybrid -ace -mts 4 -ranks 4 -steps 8   # exchange refreshed every 4th step
+//	ptdft -md -displace 0:0.2,0,0 -ionsteps 20 -iondt 96 -dt 24 -kick 0   # Ehrenfest MD
 //
 // Output: one line per step (time, energy, current, excited carriers, SCF
 // count) plus a trace breakdown, and optionally a CSV file for plotting.
+// With -md each line is one ion step and the energy column is the
+// conserved total (electronic + ion kinetic + ion-ion).
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -26,6 +30,7 @@ import (
 	"ptdft/internal/dist"
 	"ptdft/internal/grid"
 	"ptdft/internal/hamiltonian"
+	"ptdft/internal/ion"
 	"ptdft/internal/laser"
 	"ptdft/internal/lattice"
 	"ptdft/internal/mpi"
@@ -59,6 +64,15 @@ type config struct {
 	single   bool
 	savePath string
 	loadPath string
+
+	// Ehrenfest ion dynamics.
+	md           bool
+	ionSteps     int
+	ionDtAs      float64
+	displaceSpec string
+	displaceAtom int
+	displaceVec  [3]float64
+	hasDisplace  bool
 }
 
 func parseFlags() (*config, error) {
@@ -82,6 +96,10 @@ func parseFlags() (*config, error) {
 	flag.BoolVar(&c.single, "singleprec", false, "single-precision MPI payloads (distributed runs)")
 	flag.StringVar(&c.savePath, "save", "", "write a restart checkpoint here after the last step")
 	flag.StringVar(&c.loadPath, "load", "", "resume from a checkpoint instead of the ground state")
+	flag.BoolVar(&c.md, "md", false, "Ehrenfest ion dynamics: velocity-Verlet ions coupled to PT-CN electrons (Hellmann-Feynman forces)")
+	flag.IntVar(&c.ionSteps, "ionsteps", 10, "number of ion MD steps (with -md; replaces -steps as the trajectory length)")
+	flag.Float64Var(&c.ionDtAs, "iondt", 96, "ion time step in attoseconds (with -md); must be an integer multiple of -dt")
+	flag.StringVar(&c.displaceSpec, "displace", "", "displace one atom before the ground state: i:dx,dy,dz (Bohr), e.g. 0:0.2,0,0")
 	flag.Parse()
 	parts := strings.Split(*cellsStr, ",")
 	if len(parts) != 3 {
@@ -118,6 +136,32 @@ func parseFlags() (*config, error) {
 	case c.mts > 1 && c.aceHold:
 		return nil, fmt.Errorf("-acehold is exactly -mts 1; it cannot combine with -mts %d - pick one cadence", c.mts)
 	}
+	// Ion dynamics composes with PT-CN only (the ion step is defined as K
+	// electronic PT-CN steps), and the ion step must tile exactly into
+	// electronic steps.
+	if c.md {
+		if c.method != "ptcn" {
+			return nil, fmt.Errorf("-md couples the ions to the PT-CN propagator; -method %s does not support it", c.method)
+		}
+		if c.ionSteps < 1 {
+			return nil, fmt.Errorf("-ionsteps wants at least 1, got %d", c.ionSteps)
+		}
+		if c.dtAs <= 0 || c.ionDtAs <= 0 {
+			return nil, fmt.Errorf("-md wants positive time steps, got -dt %g and -iondt %g", c.dtAs, c.ionDtAs)
+		}
+		k := c.ionDtAs / c.dtAs
+		if k < 0.5 || math.Abs(k-math.Round(k)) > 1e-9*k {
+			return nil, fmt.Errorf("-iondt %g as is not an integer multiple of -dt %g as (each ion step spans K electronic steps)", c.ionDtAs, c.dtAs)
+		}
+	}
+	if c.displaceSpec != "" {
+		var err error
+		c.displaceAtom, c.displaceVec, err = parseDisplace(c.displaceSpec)
+		if err != nil {
+			return nil, err
+		}
+		c.hasDisplace = true
+	}
 	// Resolve the exchange strategy up front so a typo fails before the
 	// ground-state SCF runs, not after.
 	var err error
@@ -125,6 +169,32 @@ func parseFlags() (*config, error) {
 		return nil, err
 	}
 	return &c, nil
+}
+
+// ionSubsteps returns K, the electronic PT-CN steps per ion step.
+func (c *config) ionSubsteps() int { return int(math.Round(c.ionDtAs / c.dtAs)) }
+
+// parseDisplace parses the -displace argument i:dx,dy,dz.
+func parseDisplace(s string) (int, [3]float64, error) {
+	var vec [3]float64
+	head, tail, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, vec, fmt.Errorf("-displace wants i:dx,dy,dz, got %q", s)
+	}
+	atom, err := strconv.Atoi(strings.TrimSpace(head))
+	if err != nil || atom < 0 {
+		return 0, vec, fmt.Errorf("-displace: bad atom index %q", head)
+	}
+	parts := strings.Split(tail, ",")
+	if len(parts) != 3 {
+		return 0, vec, fmt.Errorf("-displace wants three components, got %q", tail)
+	}
+	for i, p := range parts {
+		if vec[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
+			return 0, vec, fmt.Errorf("-displace: bad component %q", p)
+		}
+	}
+	return atom, vec, nil
 }
 
 func main() {
@@ -153,6 +223,13 @@ func run(cfg *config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.hasDisplace {
+		if err := cell.DisplaceAtom(cfg.displaceAtom, cfg.displaceVec); err != nil {
+			return err
+		}
+		fmt.Printf("displaced atom %d by (%g, %g, %g) Bohr\n", cfg.displaceAtom,
+			cfg.displaceVec[0], cfg.displaceVec[1], cfg.displaceVec[2])
+	}
 	g, err := grid.New(cell, cfg.ecut)
 	if err != nil {
 		return err
@@ -163,7 +240,7 @@ func run(cfg *config) error {
 
 	prof := trace.New()
 	pots := sipots()
-	hcfg := hamiltonian.Config{Hybrid: cfg.hybrid, UseACE: cfg.useACE, Params: xc.HSE06()}
+	hcfg := hamiltonian.Config{Hybrid: cfg.hybrid, UseACE: cfg.useACE, Params: xc.HSE06(), IonDynamics: cfg.md}
 	h := hamiltonian.New(g, pots, hcfg)
 
 	// Ground state.
@@ -200,7 +277,7 @@ func run(cfg *config) error {
 		if err != nil {
 			return err
 		}
-		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut, cfg.hybrid, cfg.mts, cfg.useACE); err != nil {
+		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut, cfg.hybrid, cfg.mts, cfg.useACE, cfg.md); err != nil {
 			return err
 		}
 		loaded = st
@@ -214,13 +291,29 @@ func run(cfg *config) error {
 	var psiFinal []complex128
 	var tFinal float64
 	var mts mtsSnapshot
-	if cfg.ranks > 1 {
+	var ions ionSnapshot
+	switch {
+	case cfg.md && cfg.ranks > 1:
+		records, psiFinal, tFinal, mts, ions, err = runDistributedMD(cfg, cell, g, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
+	case cfg.md:
+		records, psiFinal, tFinal, mts, ions, err = runSerialMD(cfg, cell, g, h, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
+	case cfg.ranks > 1:
 		records, psiFinal, tFinal, mts, err = runDistributed(cfg, g, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
-	} else {
+	default:
 		records, psiFinal, tFinal, mts, err = runSerial(cfg, g, h, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
 	}
 	if err != nil {
 		return err
+	}
+	if cfg.md && len(records) > 0 {
+		var drift float64
+		for _, r := range records {
+			if d := math.Abs(r.energy - ions.e0); d > drift {
+				drift = d
+			}
+		}
+		fmt.Printf("ehrenfest: %d ion steps of %g as (K=%d electronic steps each); max total-energy drift %.3e Ha\n",
+			cfg.ionSteps, cfg.ionDtAs, cfg.ionSubsteps(), drift)
 	}
 
 	if !cfg.quiet {
@@ -237,11 +330,19 @@ func run(cfg *config) error {
 		// Under MTS the cadence phase (and, mid-cycle, the frozen exchange
 		// reference) rides along so the next segment lands on the correct
 		// outer/inner step with the identical frozen operator.
+		elSteps := cfg.steps
+		if cfg.md {
+			elSteps = cfg.ionSteps * cfg.ionSubsteps()
+		}
 		st := &checkpoint.State{
-			Time: tFinal, Step: checkpoint.ContinuationStep(loaded, cfg.steps), NBands: nb, NG: g.NG,
+			Time: tFinal, Step: checkpoint.ContinuationStep(loaded, elSteps), NBands: nb, NG: g.NG,
 			Natom: int64(cell.NumAtoms()), Ecut: cfg.ecut, Hybrid: cfg.hybrid, Psi: psiFinal,
 			MTSPeriod: int64(cfg.mts), MTSPhase: int64(mts.phase), MTSACE: cfg.useACE && cfg.mts > 0,
 			PhiRef: mts.phiRef,
+		}
+		if cfg.md {
+			st.IonSteps = checkpoint.ContinuationIonSteps(loaded, cfg.ionSteps)
+			st.IonPos, st.IonVel, st.IonForce = ions.pos, ions.vel, ions.force
 		}
 		if err := checkpoint.SaveFile(cfg.savePath, st); err != nil {
 			return err
@@ -454,6 +555,226 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
 		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
 	return records, psiFinal, tFinal, snap, nil
+}
+
+// ionSnapshot carries the Ehrenfest ion state out of a propagation for
+// checkpointing: positions, velocities and the cached force after the last
+// completed ion step.
+type ionSnapshot struct {
+	pos, vel, force [][3]float64
+	e0              float64 // conserved total before the first recorded step
+}
+
+// snapshotIons captures the integrator's restartable state.
+func snapshotIons(v *ion.Verlet) ionSnapshot {
+	return ionSnapshot{
+		pos:   v.Cell.Positions(),
+		vel:   append([][3]float64(nil), v.Vel...),
+		force: append([][3]float64(nil), v.F...),
+	}
+}
+
+// runSerialMD drives the coupled Ehrenfest system serially: a velocity-
+// Verlet ion integrator over the cell, with core.PTCN advancing the
+// electrons K steps per ion step. The recorded energy is the conserved
+// total (electronic + ion kinetic + ion-ion).
+func runSerialMD(cfg *config, cell *lattice.Cell, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, ionSnapshot, error) {
+	var snap mtsSnapshot
+	var ionsnap ionSnapshot
+	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: field}
+	pt := core.NewPTCN(sys, core.DefaultPTCN())
+	pt.Time = t0
+	pt.MTS = cfg.mts
+	if loaded != nil {
+		if err := pt.ResumeMTS(int(loaded.MTSPhase), loaded.PhiRef); err != nil {
+			return nil, nil, 0, snap, ionsnap, err
+		}
+	}
+	se := &ion.SerialElectrons{P: pt, Psi: wavefunc.Clone(psi0), Pots: sipots()}
+	v, err := ion.NewVerlet(cell, se, units.AttosecondsToAU(cfg.ionDtAs), cfg.ionSubsteps())
+	if err != nil {
+		return nil, nil, 0, snap, ionsnap, err
+	}
+	if loaded != nil && loaded.HasIons() {
+		if err := v.Resume(loaded.IonPos, loaded.IonVel, loaded.IonForce, int(loaded.IonSteps)); err != nil {
+			return nil, nil, 0, snap, ionsnap, err
+		}
+	}
+	// The drift baseline is the conserved total BEFORE any ion step: the
+	// first step is the largest for a released atom and must not hide its
+	// own error. (This also fills the initial force cache.)
+	e0, err := v.TotalEnergy()
+	if err != nil {
+		return nil, nil, 0, snap, ionsnap, err
+	}
+	ionsnap.e0 = e0
+	var records []stepRecord
+	for i := 0; i < cfg.ionSteps; i++ {
+		start := time.Now()
+		se.SCF = 0
+		if err := v.Step(); err != nil {
+			return nil, nil, 0, snap, ionsnap, fmt.Errorf("ion step %d: %w", i, err)
+		}
+		wall := time.Since(start).Seconds()
+		prof.Add("ion step", wall)
+		etot, err := v.TotalEnergy()
+		if err != nil {
+			return nil, nil, 0, snap, ionsnap, err
+		}
+		j := observe.Current(sys, se.Psi)
+		records = append(records, stepRecord{
+			timeFs:   pt.Time * units.FemtosecondPerAU,
+			energy:   etot,
+			currentZ: j[2],
+			excited:  observe.ExcitedElectrons(sys, psiGS, se.Psi),
+			scfIters: se.SCF,
+			wallSec:  wall,
+		})
+	}
+	if cfg.mts > 0 {
+		snap.phase = pt.MTSPhase()
+		if snap.phase != 0 && cfg.savePath != "" {
+			snap.phiRef = wavefunc.Clone(pt.MTSRef())
+		}
+	}
+	e0 = ionsnap.e0
+	ionsnap = snapshotIons(v)
+	ionsnap.e0 = e0
+	return records, se.Psi, pt.Time, snap, ionsnap, nil
+}
+
+// runDistributedMD drives the coupled system over goroutine-MPI ranks.
+// Each rank owns a cloned cell and a grid/Hamiltonian built on it, and
+// integrates a replicated Verlet trajectory: the forces are allreduced in
+// deterministic rank order, so every replica is bit-identical and the
+// trajectory matches the serial driver to reduction round-off.
+func runDistributedMD(cfg *config, cell *lattice.Cell, g *grid.Grid, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, ionSnapshot, error) {
+	var snap mtsSnapshot
+	var ionsnap ionSnapshot
+	if nb%cfg.ranks != 0 {
+		return nil, nil, 0, snap, ionsnap, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
+	}
+	exOpt := dist.ExchangeOptions{
+		Strategy:          cfg.exchange,
+		SinglePrecision:   cfg.single,
+		ACE:               cfg.useACE,
+		ACEHoldThroughSCF: cfg.aceHold,
+		MTSPeriod:         cfg.mts,
+	}
+	fmt.Printf("distributed ehrenfest: %d ranks, %d ion steps x K=%d electronic steps\n", cfg.ranks, cfg.ionSteps, cfg.ionSubsteps())
+
+	records := make([]stepRecord, cfg.ionSteps)
+	psiFinal := make([]complex128, nb*g.NG)
+	var tFinal float64
+	var firstErr error
+	stats := mpi.Run(cfg.ranks, func(c *mpi.Comm) {
+		fail := func(err error) {
+			if c.Rank() == 0 {
+				firstErr = err
+			}
+		}
+		// Per-rank geometry: a cloned cell and a grid built on it, so the
+		// concurrent position updates of the replicated trajectories never
+		// touch shared memory.
+		cellR := cell.Clone()
+		gR, err := grid.New(cellR, cfg.ecut)
+		if err != nil {
+			fail(err)
+			return
+		}
+		d, err := dist.NewCtx(c, gR, nb, 2)
+		if err != nil {
+			fail(err)
+			return
+		}
+		h := hamiltonian.New(gR, sipots(), hamiltonian.Config{IonDynamics: true})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), cfg.hybrid, field, core.DefaultPTCN(), exOpt)
+		s.Time = t0
+		lo, hi := d.BandRange(c.Rank())
+		de := &ion.DistElectrons{S: s, Local: wavefunc.Clone(psi0[lo*g.NG : hi*g.NG]), Pots: sipots()}
+		if loaded != nil {
+			var ref []complex128
+			if loaded.PhiRef != nil {
+				ref = loaded.PhiRef[lo*g.NG : hi*g.NG]
+			}
+			if err := s.ResumeMTS(int(loaded.MTSPhase), ref); err != nil {
+				fail(err)
+				return
+			}
+		}
+		v, err := ion.NewVerlet(cellR, de, units.AttosecondsToAU(cfg.ionDtAs), cfg.ionSubsteps())
+		if err != nil {
+			fail(err)
+			return
+		}
+		if loaded != nil && loaded.HasIons() {
+			if err := v.Resume(loaded.IonPos, loaded.IonVel, loaded.IonForce, int(loaded.IonSteps)); err != nil {
+				fail(err)
+				return
+			}
+		}
+		// Drift baseline before the first step, mirroring runSerialMD.
+		e0, err := v.TotalEnergy()
+		if err != nil {
+			fail(err)
+			return
+		}
+		for i := 0; i < cfg.ionSteps; i++ {
+			start := time.Now()
+			de.SCF = 0
+			if err := v.Step(); err != nil {
+				// PT-CN convergence failure is decided on the global
+				// density, so every rank exits here together.
+				fail(fmt.Errorf("ion step %d: %w", i, err))
+				return
+			}
+			wall := time.Since(start).Seconds()
+			etot, err := v.TotalEnergy()
+			if err != nil {
+				fail(err)
+				return
+			}
+			j := s.Current(de.Local)
+			nexc := s.ExcitedElectrons(psiGS, de.Local)
+			if c.Rank() == 0 {
+				records[i] = stepRecord{
+					timeFs:   s.Time * units.FemtosecondPerAU,
+					energy:   etot,
+					currentZ: j[2],
+					excited:  nexc,
+					scfIters: de.SCF,
+					wallSec:  wall,
+				}
+				prof.Add("ion step", wall)
+			}
+		}
+		full := d.Gather(de.Local)
+		if c.Rank() == 0 {
+			copy(psiFinal, full)
+			tFinal = s.Time
+			ionsnap = snapshotIons(v)
+			ionsnap.e0 = e0
+		}
+		if cfg.mts > 0 {
+			phase := s.MTSPhase()
+			if c.Rank() == 0 {
+				snap.phase = phase
+			}
+			if phase != 0 && cfg.savePath != "" {
+				ref := d.Gather(s.MTSRef())
+				if c.Rank() == 0 {
+					snap.phiRef = wavefunc.Clone(ref)
+				}
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, nil, 0, snap, ionsnap, firstErr
+	}
+	fmt.Printf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB\n",
+		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
+		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
+	return records, psiFinal, tFinal, snap, ionsnap, nil
 }
 
 func mb(b int64) float64 { return float64(b) / 1e6 }

@@ -7,7 +7,11 @@
 // and - when the save lands mid-cycle - the frozen exchange reference
 // orbitals of the last outer step, so a resumed segment reconstructs the
 // identical frozen operator instead of silently refreshing early. Version
-// 1 files (no MTS section) still load.
+// 3 adds the Ehrenfest ion section: positions, velocities and the cached
+// force of every atom, so an interrupted MD trajectory resumes
+// bit-compatibly (the first half kick after the resume uses the stored
+// force, not a recomputation subject to parallel reduction order).
+// Versions 1 and 2 still load.
 package checkpoint
 
 import (
@@ -22,7 +26,7 @@ import (
 
 const (
 	magic   = 0x70746466_74636b70 // "ptdftckp"
-	version = 2
+	version = 3
 )
 
 // State is the restartable simulation state.
@@ -50,7 +54,21 @@ type State struct {
 	MTSPhase  int64
 	MTSACE    bool
 	PhiRef    []complex128
+
+	// Ehrenfest ion state (version 3), present exactly when the run moved
+	// ions (-md): positions, velocities and the cached Hellmann-Feynman
+	// force of every atom (all length Natom), plus the count of completed
+	// ion steps. The force cache is what makes the resume bit-compatible:
+	// velocity Verlet opens every step with a half kick from the force of
+	// the previous step's close.
+	IonSteps int64
+	IonPos   [][3]float64
+	IonVel   [][3]float64
+	IonForce [][3]float64
 }
+
+// HasIons reports whether the state carries an Ehrenfest ion section.
+func (s *State) HasIons() bool { return len(s.IonPos) > 0 }
 
 // Save writes the state to w (always in the current format version).
 func Save(w io.Writer, s *State) error {
@@ -59,6 +77,14 @@ func Save(w io.Writer, s *State) error {
 	}
 	if len(s.PhiRef) != 0 && len(s.PhiRef) != s.NBands*s.NG {
 		return fmt.Errorf("checkpoint: frozen reference length %d != %d bands x %d", len(s.PhiRef), s.NBands, s.NG)
+	}
+	nion := len(s.IonPos)
+	if len(s.IonVel) != nion || len(s.IonForce) != nion {
+		return fmt.Errorf("checkpoint: ion section inconsistent: %d positions, %d velocities, %d forces",
+			nion, len(s.IonVel), len(s.IonForce))
+	}
+	if nion != 0 && int64(nion) != s.Natom {
+		return fmt.Errorf("checkpoint: ion section holds %d atoms, system has %d", nion, s.Natom)
 	}
 	bw := bufio.NewWriter(w)
 	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
@@ -81,6 +107,7 @@ func Save(w io.Writer, s *State) error {
 		uint64(s.NBands), uint64(s.NG), uint64(s.Natom),
 		math.Float64bits(s.Ecut), uint64(hyb),
 		uint64(s.MTSPeriod), uint64(s.MTSPhase), ace, nref,
+		uint64(nion), uint64(s.IonSteps),
 	}
 	for _, h := range header {
 		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
@@ -92,6 +119,11 @@ func Save(w io.Writer, s *State) error {
 	}
 	if err := writeComplex(mw, s.PhiRef); err != nil {
 		return err
+	}
+	for _, block := range [][][3]float64{s.IonPos, s.IonVel, s.IonForce} {
+		if err := writeVec3(mw, block); err != nil {
+			return err
+		}
 	}
 	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
 		return err
@@ -106,6 +138,20 @@ func writeComplex(w io.Writer, xs []complex128) error {
 	for _, c := range xs {
 		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(real(c)))
 		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(c)))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeVec3 streams per-atom 3-vectors as little-endian float64 triplets.
+func writeVec3(w io.Writer, xs [][3]float64) error {
+	buf := make([]byte, 24)
+	for _, v := range xs {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(v[0]))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(v[1]))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(v[2]))
 		if _, err := w.Write(buf); err != nil {
 			return err
 		}
@@ -128,8 +174,22 @@ func readComplex(r io.Reader, dst []complex128, what string) error {
 	return nil
 }
 
-// Load reads a state from r, verifying the checksum. Both format versions
-// load: version 1 files carry no MTS section and yield zero cadence state.
+// readVec3 fills per-atom 3-vectors from little-endian float64 triplets.
+func readVec3(r io.Reader, dst [][3]float64, what string) error {
+	buf := make([]byte, 24)
+	for i := range dst {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("checkpoint: %s truncated at atom %d: %w", what, i, err)
+		}
+		dst[i][0] = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+		dst[i][1] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+		dst[i][2] = math.Float64frombits(binary.LittleEndian.Uint64(buf[16:]))
+	}
+	return nil
+}
+
+// Load reads a state from r, verifying the checksum. All format versions
+// load: version 1 carries no MTS section, versions 1 and 2 no ion section.
 func Load(r io.Reader) (*State, error) {
 	br := bufio.NewReader(r)
 	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
@@ -143,8 +203,9 @@ func Load(r io.Reader) (*State, error) {
 	if header[0] != magic {
 		return nil, fmt.Errorf("checkpoint: bad magic %#x", header[0])
 	}
-	if header[1] != 1 && header[1] != version {
-		return nil, fmt.Errorf("checkpoint: unsupported version %d", header[1])
+	ver := header[1]
+	if ver < 1 || ver > version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", ver)
 	}
 	s := &State{
 		Time:   math.Float64frombits(header[2]),
@@ -156,7 +217,7 @@ func Load(r io.Reader) (*State, error) {
 		Hybrid: header[8] != 0,
 	}
 	nref := uint64(0)
-	if header[1] >= 2 {
+	if ver >= 2 {
 		ext := make([]uint64, 4)
 		for i := range ext {
 			if err := binary.Read(tr, binary.LittleEndian, &ext[i]); err != nil {
@@ -168,12 +229,31 @@ func Load(r io.Reader) (*State, error) {
 		s.MTSACE = ext[2] != 0
 		nref = ext[3]
 	}
+	nion := uint64(0)
+	if ver >= 3 {
+		ext := make([]uint64, 2)
+		for i := range ext {
+			if err := binary.Read(tr, binary.LittleEndian, &ext[i]); err != nil {
+				return nil, fmt.Errorf("checkpoint: short ion header: %w", err)
+			}
+		}
+		nion = ext[0]
+		s.IonSteps = int64(ext[1])
+	}
 	n := s.NBands * s.NG
 	if n < 0 || n > 1<<34 {
 		return nil, fmt.Errorf("checkpoint: implausible size %d x %d", s.NBands, s.NG)
 	}
 	if nref != 0 && nref != uint64(s.NBands) {
 		return nil, fmt.Errorf("checkpoint: frozen reference holds %d bands, want 0 or %d", nref, s.NBands)
+	}
+	if nion > 1<<24 {
+		// Plausibility cap before any allocation sized by header words: a
+		// corrupt file must fail with an error, not a makeslice panic.
+		return nil, fmt.Errorf("checkpoint: implausible ion count %d", nion)
+	}
+	if nion != 0 && nion != uint64(s.Natom) {
+		return nil, fmt.Errorf("checkpoint: ion section holds %d atoms, want 0 or %d", nion, s.Natom)
 	}
 	s.Psi = make([]complex128, n)
 	if err := readComplex(tr, s.Psi, "psi"); err != nil {
@@ -183,6 +263,19 @@ func Load(r io.Reader) (*State, error) {
 		s.PhiRef = make([]complex128, n)
 		if err := readComplex(tr, s.PhiRef, "frozen reference"); err != nil {
 			return nil, err
+		}
+	}
+	if nion > 0 {
+		s.IonPos = make([][3]float64, nion)
+		s.IonVel = make([][3]float64, nion)
+		s.IonForce = make([][3]float64, nion)
+		for _, block := range []struct {
+			dst  [][3]float64
+			what string
+		}{{s.IonPos, "ion positions"}, {s.IonVel, "ion velocities"}, {s.IonForce, "ion forces"}} {
+			if err := readVec3(tr, block.dst, block.what); err != nil {
+				return nil, err
+			}
 		}
 	}
 	want := crc.Sum64()
@@ -226,38 +319,52 @@ func LoadFile(path string) (*State, error) {
 }
 
 // Compatible reports whether a loaded state matches the current system
-// discretization and functional, with a descriptive error when it does
-// not. The hybrid flag matters as much as the grid: orbitals propagated
-// under the screened-exchange Hamiltonian must not silently continue under
-// a semi-local one (or vice versa) - the trajectories are not comparable.
-// mts is the refresh period of the resuming run (0 for no MTS) and ace
-// whether its exchange goes through the ACE compression: a state saved
-// mid-cycle pins the whole cadence - the frozen operator it carries is
-// only meaningful under the same M *and* the same operator kind (the
-// exact exchange and the compression differ off the reference span) -
-// while a state saved at a cycle boundary may change both freely (the
-// next step is an outer step that rebuilds under any setting).
-func (s *State) Compatible(nbands, ng int, natom int64, ecut float64, hybrid bool, mts int, ace bool) error {
-	if s.NBands != nbands || s.NG != ng || s.Natom != natom || s.Ecut != ecut {
-		return fmt.Errorf("checkpoint: state for Si%d nb=%d NG=%d Ecut=%g does not match system Si%d nb=%d NG=%d Ecut=%g",
-			s.Natom, s.NBands, s.NG, s.Ecut, natom, nbands, ng, ecut)
+// discretization, functional and cadences, with every mismatch reported as
+// an expected-vs-got pair. The hybrid flag matters as much as the grid:
+// orbitals propagated under the screened-exchange Hamiltonian must not
+// silently continue under a semi-local one (or vice versa) - the
+// trajectories are not comparable. mts is the refresh period of the
+// resuming run (0 for no MTS) and ace whether its exchange goes through
+// the ACE compression: a state saved mid-cycle pins the whole cadence -
+// the frozen operator it carries is only meaningful under the same M *and*
+// the same operator kind - while a state saved at a cycle boundary may
+// change both freely. md reports whether the resuming run moves ions: an
+// Ehrenfest state must not silently continue with frozen ions (its stored
+// geometry would be ignored), nor a frozen-ion state under -md (there is
+// no velocity/force state to integrate from).
+func (s *State) Compatible(nbands, ng int, natom int64, ecut float64, hybrid bool, mts int, ace bool, md bool) error {
+	if s.NBands != nbands {
+		return fmt.Errorf("checkpoint: band count: checkpoint has %d, run has %d", s.NBands, nbands)
+	}
+	if s.NG != ng {
+		return fmt.Errorf("checkpoint: G-sphere size: checkpoint has %d, run has %d", s.NG, ng)
+	}
+	if s.Natom != natom {
+		return fmt.Errorf("checkpoint: atom count: checkpoint has %d, run has %d", s.Natom, natom)
+	}
+	if s.Ecut != ecut {
+		return fmt.Errorf("checkpoint: energy cutoff: checkpoint has %g Ha, run has %g Ha", s.Ecut, ecut)
 	}
 	if s.Hybrid != hybrid {
-		return fmt.Errorf("checkpoint: state propagated with hybrid=%v cannot resume under hybrid=%v (rerun with the matching -hybrid flag)",
+		return fmt.Errorf("checkpoint: functional: checkpoint has hybrid=%v, run has hybrid=%v (rerun with the matching -hybrid flag)",
 			s.Hybrid, hybrid)
 	}
 	if s.MTSPhase != 0 {
 		if int64(mts) != s.MTSPeriod {
-			return fmt.Errorf("checkpoint: state saved mid-MTS-cycle (step %d of an M=%d cycle) cannot resume under -mts %d (rerun with -mts %d, or restart from a cycle-boundary checkpoint)",
-				s.MTSPhase, s.MTSPeriod, mts, s.MTSPeriod)
+			return fmt.Errorf("checkpoint: mts period: checkpoint has %d (saved mid-cycle at phase %d), run has %d (rerun with -mts %d, or restart from a cycle-boundary checkpoint)",
+				s.MTSPeriod, s.MTSPhase, mts, s.MTSPeriod)
 		}
 		if s.MTSACE != ace {
-			return fmt.Errorf("checkpoint: mid-cycle MTS state froze the %s operator and cannot resume applying the %s one (rerun with the matching -ace flag, or restart from a cycle-boundary checkpoint)",
+			return fmt.Errorf("checkpoint: exchange operator: checkpoint froze the %s, run applies the %s (rerun with the matching -ace flag, or restart from a cycle-boundary checkpoint)",
 				operatorKind(s.MTSACE), operatorKind(ace))
 		}
 		if s.Hybrid && len(s.PhiRef) == 0 {
 			return fmt.Errorf("checkpoint: mid-cycle MTS state (phase %d of %d) is missing its frozen exchange reference", s.MTSPhase, s.MTSPeriod)
 		}
+	}
+	if s.HasIons() != md {
+		return fmt.Errorf("checkpoint: ion dynamics: checkpoint has md=%v, run has md=%v (rerun with the matching -md flag)",
+			s.HasIons(), md)
 	}
 	return nil
 }
@@ -280,4 +387,13 @@ func ContinuationStep(loaded *State, steps int) int64 {
 		return int64(steps)
 	}
 	return loaded.Step + int64(steps)
+}
+
+// ContinuationIonSteps is ContinuationStep for the ion-step counter of an
+// Ehrenfest trajectory.
+func ContinuationIonSteps(loaded *State, ionSteps int) int64 {
+	if loaded == nil {
+		return int64(ionSteps)
+	}
+	return loaded.IonSteps + int64(ionSteps)
 }

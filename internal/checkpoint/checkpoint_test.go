@@ -124,6 +124,135 @@ func TestLoadVersion1(t *testing.T) {
 	}
 }
 
+// TestRoundTripIon: the version-3 ion section - positions, velocities,
+// force cache and the ion-step counter - survives a round trip bit for
+// bit, and inconsistent sections are rejected at save time.
+func TestRoundTripIon(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := sampleState(rng)
+	s.IonSteps = 17
+	n := int(s.Natom)
+	s.IonPos = make([][3]float64, n)
+	s.IonVel = make([][3]float64, n)
+	s.IonForce = make([][3]float64, n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			s.IonPos[i][d] = rng.NormFloat64()
+			s.IonVel[i][d] = rng.NormFloat64() * 1e-4
+			s.IonForce[i][d] = rng.NormFloat64() * 1e-2
+		}
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasIons() || got.IonSteps != 17 {
+		t.Fatalf("ion section lost: HasIons=%v IonSteps=%d", got.HasIons(), got.IonSteps)
+	}
+	for i := 0; i < n; i++ {
+		if got.IonPos[i] != s.IonPos[i] || got.IonVel[i] != s.IonVel[i] || got.IonForce[i] != s.IonForce[i] {
+			t.Fatalf("ion state differs at atom %d", i)
+		}
+	}
+	// Section shape mismatches must be rejected at save time.
+	bad := *s
+	bad.IonVel = bad.IonVel[:n-1]
+	if err := Save(&bytes.Buffer{}, &bad); err == nil {
+		t.Error("misshapen ion velocity block accepted")
+	}
+	bad = *s
+	bad.IonPos = bad.IonPos[:n-1]
+	bad.IonVel = bad.IonVel[:n-1]
+	bad.IonForce = bad.IonForce[:n-1]
+	if err := Save(&bytes.Buffer{}, &bad); err == nil {
+		t.Error("ion section with wrong atom count accepted")
+	}
+}
+
+// TestLoadRejectsImplausibleIonCount: a corrupt version-3 header whose
+// ion-count word is garbage must fail with an error before any
+// header-sized allocation happens (no makeslice panic, no OOM).
+func TestLoadRejectsImplausibleIonCount(t *testing.T) {
+	var raw bytes.Buffer
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	mw := io.MultiWriter(&raw, crc)
+	header := []uint64{
+		magic, 3,
+		math.Float64bits(1.0), 1,
+		1, 1, 1 << 60, // Natom garbage
+		math.Float64bits(3.0), 0,
+		0, 0, 0, 0,
+		1 << 60, 0, // nion garbage matching Natom
+	}
+	for _, h := range header {
+		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := Load(&raw)
+	if err == nil {
+		t.Fatal("implausible ion count accepted")
+	}
+	if !strings.Contains(err.Error(), "ion count") {
+		t.Errorf("error does not name the ion count: %v", err)
+	}
+}
+
+// TestLoadVersion2 keeps the MTS-era format readable: a hand-written
+// version-2 stream (13-word header, psi, frozen reference, checksum)
+// loads with its cadence state intact and no invented ion section.
+func TestLoadVersion2(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := sampleState(rng)
+	phiRef := make([]complex128, len(s.Psi))
+	for i := range phiRef {
+		phiRef[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var raw bytes.Buffer
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	mw := io.MultiWriter(&raw, crc)
+	header := []uint64{
+		magic, 2,
+		math.Float64bits(s.Time), uint64(s.Step),
+		uint64(s.NBands), uint64(s.NG), uint64(s.Natom),
+		math.Float64bits(s.Ecut), 1,
+		4, 3, 1, uint64(s.NBands),
+	}
+	for _, h := range header {
+		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writeComplex(mw, s.Psi); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeComplex(mw, phiRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&raw, binary.LittleEndian, crc.Sum64()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&raw)
+	if err != nil {
+		t.Fatalf("version-2 stream rejected: %v", err)
+	}
+	if got.MTSPeriod != 4 || got.MTSPhase != 3 || !got.MTSACE {
+		t.Errorf("version-2 MTS state lost: %+v", got)
+	}
+	for i := range phiRef {
+		if got.PhiRef[i] != phiRef[i] {
+			t.Fatalf("frozen reference differs at %d", i)
+		}
+	}
+	if got.HasIons() || got.IonSteps != 0 {
+		t.Errorf("version-2 load invented ion state: %+v", got)
+	}
+}
+
 func TestFileRoundTripAtomic(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	s := sampleState(rng)
@@ -187,25 +316,78 @@ func TestSaveRejectsInconsistentState(t *testing.T) {
 
 func TestCompatible(t *testing.T) {
 	s := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true}
-	if err := s.Compatible(16, 257, 8, 3, true, 0, false); err != nil {
+	if err := s.Compatible(16, 257, 8, 3, true, 0, false, false); err != nil {
 		t.Errorf("unexpected incompatibility: %v", err)
 	}
-	if err := s.Compatible(16, 257, 8, 4, true, 0, false); err == nil {
+	if err := s.Compatible(16, 257, 8, 4, true, 0, false, false); err == nil {
 		t.Error("Ecut mismatch not detected")
 	}
-	if err := s.Compatible(32, 257, 8, 3, true, 0, false); err == nil {
+	if err := s.Compatible(32, 257, 8, 3, true, 0, false, false); err == nil {
 		t.Error("band mismatch not detected")
 	}
 	// A hybrid checkpoint must not resume under a semi-local Hamiltonian
 	// (or vice versa) - the propagated trajectories are not interchangeable.
-	if err := s.Compatible(16, 257, 8, 3, false, 0, false); err == nil {
+	if err := s.Compatible(16, 257, 8, 3, false, 0, false, false); err == nil {
 		t.Error("hybrid mismatch not detected")
 	} else if !strings.Contains(err.Error(), "hybrid") {
 		t.Errorf("hybrid mismatch error not descriptive: %v", err)
 	}
 	sl := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: false}
-	if err := sl.Compatible(16, 257, 8, 3, true, 0, false); err == nil {
+	if err := sl.Compatible(16, 257, 8, 3, true, 0, false, false); err == nil {
 		t.Error("semi-local state resumed under hybrid not detected")
+	}
+}
+
+// TestCompatibleMessagesReportExpectedVsGot pins the error-message
+// contract: every mismatch names the field and reports the checkpoint's
+// value against the run's, so the operator knows which flag to fix without
+// reading code.
+func TestCompatibleMessagesReportExpectedVsGot(t *testing.T) {
+	s := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true}
+	cases := []struct {
+		name string
+		err  error
+		want []string
+	}{
+		{"bands", s.Compatible(32, 257, 8, 3, true, 0, false, false),
+			[]string{"band count", "checkpoint has 16", "run has 32"}},
+		{"ng", s.Compatible(16, 300, 8, 3, true, 0, false, false),
+			[]string{"G-sphere size", "checkpoint has 257", "run has 300"}},
+		{"natom", s.Compatible(16, 257, 64, 3, true, 0, false, false),
+			[]string{"atom count", "checkpoint has 8", "run has 64"}},
+		{"ecut", s.Compatible(16, 257, 8, 10, true, 0, false, false),
+			[]string{"energy cutoff", "checkpoint has 3 Ha", "run has 10 Ha"}},
+		{"hybrid", s.Compatible(16, 257, 8, 3, false, 0, false, false),
+			[]string{"functional", "checkpoint has hybrid=true", "run has hybrid=false"}},
+		{"md", s.Compatible(16, 257, 8, 3, true, 0, false, true),
+			[]string{"ion dynamics", "checkpoint has md=false", "run has md=true"}},
+	}
+	mid := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true,
+		MTSPeriod: 4, MTSPhase: 2, MTSACE: true, PhiRef: make([]complex128, 16*257)}
+	cases = append(cases,
+		struct {
+			name string
+			err  error
+			want []string
+		}{"mts", mid.Compatible(16, 257, 8, 3, true, 2, true, false),
+			[]string{"mts period", "checkpoint has 4", "run has 2"}},
+		struct {
+			name string
+			err  error
+			want []string
+		}{"ace", mid.Compatible(16, 257, 8, 3, true, 4, false, false),
+			[]string{"exchange operator", "ACE-compressed exchange", "exact exchange"}},
+	)
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: mismatch not detected", tc.name)
+			continue
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(tc.err.Error(), w) {
+				t.Errorf("%s: error %q does not report %q", tc.name, tc.err, w)
+			}
+		}
 	}
 }
 
@@ -216,39 +398,39 @@ func TestCompatibleMTS(t *testing.T) {
 	n := 16 * 257
 	mid := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true,
 		MTSPeriod: 4, MTSPhase: 2, MTSACE: true, PhiRef: make([]complex128, n)}
-	if err := mid.Compatible(16, 257, 8, 3, true, 4, true); err != nil {
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, true, false); err != nil {
 		t.Errorf("matching mid-cycle resume rejected: %v", err)
 	}
-	if err := mid.Compatible(16, 257, 8, 3, true, 0, true); err == nil {
+	if err := mid.Compatible(16, 257, 8, 3, true, 0, true, false); err == nil {
 		t.Error("mid-cycle state resumed without -mts not detected")
 	} else if !strings.Contains(err.Error(), "-mts") {
 		t.Errorf("cadence mismatch error not descriptive: %v", err)
 	}
-	if err := mid.Compatible(16, 257, 8, 3, true, 2, true); err == nil {
+	if err := mid.Compatible(16, 257, 8, 3, true, 2, true, false); err == nil {
 		t.Error("mid-cycle period change not detected")
 	}
 	// The frozen operator kind is pinned too: the same orbitals back a
 	// different operator under -ace vs exact exchange, so flipping the
 	// flag mid-cycle must be loud, not a silent reconstruction.
-	if err := mid.Compatible(16, 257, 8, 3, true, 4, false); err == nil {
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, false, false); err == nil {
 		t.Error("mid-cycle ACE-to-exact flip not detected")
 	} else if !strings.Contains(err.Error(), "-ace") {
 		t.Errorf("operator-kind mismatch error not descriptive: %v", err)
 	}
 	mid.MTSACE = false
-	if err := mid.Compatible(16, 257, 8, 3, true, 4, true); err == nil {
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, true, false); err == nil {
 		t.Error("mid-cycle exact-to-ACE flip not detected")
 	}
 	mid.MTSACE = true
 	mid.PhiRef = nil
-	if err := mid.Compatible(16, 257, 8, 3, true, 4, true); err == nil {
+	if err := mid.Compatible(16, 257, 8, 3, true, 4, true, false); err == nil {
 		t.Error("mid-cycle state without frozen reference not detected")
 	}
 	// At a cycle boundary the cadence (period and operator kind) may
 	// change: the next step is an outer step under any setting.
 	boundary := &State{NBands: 16, NG: 257, Natom: 8, Ecut: 3, Hybrid: true, MTSPeriod: 4, MTSACE: true}
 	for _, mts := range []int{0, 1, 2, 4, 8} {
-		if err := boundary.Compatible(16, 257, 8, 3, true, mts, false); err != nil {
+		if err := boundary.Compatible(16, 257, 8, 3, true, mts, false, false); err != nil {
 			t.Errorf("cycle-boundary resume under -mts %d rejected: %v", mts, err)
 		}
 	}

@@ -177,6 +177,17 @@ func (p *PTCN) ResumeMTS(phase int, phiRef []complex128) error {
 	return nil
 }
 
+// IonGeometryChanged is the coupled-step hook of the Ehrenfest ion
+// integrator: after an ion drift it rebuilds the Hamiltonian's static
+// geometry-dependent operators (nonlocal projectors, local
+// pseudopotential). The exchange operator carries no explicit position
+// dependence - a frozen MTS reference stays valid across the rebuild and
+// the next outer step re-anchors it on the propagated orbitals - so the
+// MTS cadence composes with ion stepping without special cases.
+func (p *PTCN) IonGeometryChanged() {
+	p.Sys.H.RebuildGeometry()
+}
+
 // Step advances psi by dt using Algorithm 1 and returns the new orbitals.
 func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, error) {
 	s := p.Sys

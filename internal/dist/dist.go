@@ -45,6 +45,7 @@ const (
 	tagExcited   = 80      // AllreduceSum consumes 80 and 81
 	tagACE       = 90      // AllreduceSum consumes 90 and 91 (build overlap)
 	tagACEProj   = 100     // AllreduceSum consumes 100 and 101 (apply projections)
+	tagForces    = 110     // AllreduceSum consumes 110 and 111 (ion force partials)
 	tagExchBcast = 1 << 10 // + global band index
 	tagExchRing  = 1 << 11 // + ring hop
 )

@@ -429,6 +429,41 @@ func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.St
 	return out, stats, nil
 }
 
+// IonGeometryChanged is the coupled-step hook of the Ehrenfest ion
+// integrator, the distributed twin of core.PTCN.IonGeometryChanged: it
+// rebuilds this rank's static geometry-dependent operators after an ion
+// drift. Each rank owns a cloned cell (and grid/Hamiltonian built on it),
+// so concurrent rebuilds never touch shared memory; the replicated ion
+// trajectories stay bit-identical because the forces they integrate are
+// allreduced. A held exchange operator (acehold/MTS) survives the rebuild
+// unchanged - it has no explicit position dependence.
+func (s *PTCNSolver) IonGeometryChanged() {
+	s.H.RebuildGeometry()
+}
+
+// GlobalDensity returns the allreduced electron density of the band set
+// whose local block this rank holds - bit-identical on every rank (the
+// reduction runs in deterministic rank order). The force assembly derives
+// the local-pseudopotential force from it. Collective.
+func (s *PTCNSolver) GlobalDensity(local []complex128) []float64 {
+	return s.density(local)
+}
+
+// AllreduceForces sums per-rank force partials (one [3] per atom) across
+// ranks in deterministic rank order, leaving the identical total on every
+// rank. The nonlocal projector force is accumulated per band, so each rank
+// contributes its band block's share. Collective.
+func (s *PTCNSolver) AllreduceForces(f [][3]float64) {
+	flat := make([]float64, 3*len(f))
+	for i, v := range f {
+		flat[3*i], flat[3*i+1], flat[3*i+2] = v[0], v[1], v[2]
+	}
+	mpi.AllreduceSum(s.D.C, tagForces, flat)
+	for i := range f {
+		f[i] = [3]float64{flat[3*i], flat[3*i+1], flat[3*i+2]}
+	}
+}
+
 // TotalEnergy evaluates the energy functional for the local block at time
 // t, refreshing H from the global density first (the "+1 energy
 // evaluation" Fock application of the paper's per-step accounting). The

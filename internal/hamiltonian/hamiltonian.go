@@ -36,6 +36,8 @@ type Hamiltonian struct {
 	Hyb xc.HybridParams
 
 	hybrid    bool
+	pots      map[int]*pseudo.Potential // retained for geometry rebuilds
+	cfg       Config
 	vlocDense []float64
 	veffWave  []float64 // Vloc+VH+Vxc restricted to the wavefunction grid
 	aField    [3]float64
@@ -106,26 +108,56 @@ type Config struct {
 	// removing the egg-box translation error at the cost of a denser
 	// projector when the support radius is widened.
 	BandLimitedProjectors bool
+	// IonDynamics builds the force-ready nonlocal projectors
+	// (pseudo.BuildNonlocalMD): band-limited to the G-sphere, full-grid
+	// support, with the center-gradient fields the Hellmann-Feynman force
+	// assembly needs. Required for Ehrenfest MD; takes precedence over
+	// BandLimitedProjectors.
+	IonDynamics bool
+}
+
+// buildNL constructs the nonlocal projector set the configuration selects.
+func buildNL(g *grid.Grid, pots map[int]*pseudo.Potential, cfg Config) *pseudo.Nonlocal {
+	switch {
+	case cfg.IonDynamics:
+		return pseudo.BuildNonlocalMD(g, pots)
+	case cfg.BandLimitedProjectors:
+		return pseudo.BuildNonlocalBandLimited(g, pots)
+	default:
+		return pseudo.BuildNonlocal(g, pots)
+	}
 }
 
 // New builds a Hamiltonian for the grid, assembling the static local
 // pseudopotential from pots. The density-dependent parts start at zero.
 func New(g *grid.Grid, pots map[int]*pseudo.Potential, cfg Config) *Hamiltonian {
-	nl := pseudo.BuildNonlocal(g, pots)
-	if cfg.BandLimitedProjectors {
-		nl = pseudo.BuildNonlocalBandLimited(g, pots)
-	}
 	h := &Hamiltonian{
 		G:         g,
-		NL:        nl,
+		NL:        buildNL(g, pots, cfg),
 		Hyb:       cfg.Params,
 		hybrid:    cfg.Hybrid,
 		useACE:    cfg.UseACE,
+		pots:      pots,
+		cfg:       cfg,
 		vlocDense: potential.BuildVloc(g, pots),
 	}
 	h.veffWave = make([]float64, g.NTot)
 	h.scratch.New = h.newScratch
 	return h
+}
+
+// RebuildGeometry re-derives the atom-position-dependent static operators
+// - the nonlocal projectors and the local pseudopotential (form factors x
+// structure factors) - from the cell's current atom positions. The ion
+// integrator calls this after every drift. The density-dependent
+// potentials are refreshed by the next UpdatePotential as usual, and the
+// Fock/ACE exchange carries no explicit position dependence: a frozen MTS
+// operator remains valid across the rebuild and the next outer-step
+// refresh re-anchors it on orbitals already propagated under the new
+// geometry.
+func (h *Hamiltonian) RebuildGeometry() {
+	h.NL = buildNL(h.G, h.pots, h.cfg)
+	h.vlocDense = potential.BuildVloc(h.G, h.pots)
 }
 
 // Hybrid reports whether the Fock exchange operator is active.

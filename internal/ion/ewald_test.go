@@ -1,0 +1,141 @@
+package ion
+
+import (
+	"math"
+	"testing"
+
+	"ptdft/internal/lattice"
+)
+
+// TestEwaldAlphaInvariance: the Ewald energy and forces are a resummation
+// identity - the split between real and reciprocal space must not matter.
+func TestEwaldAlphaInvariance(t *testing.T) {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	if err := cell.DisplaceAtom(0, [3]float64{0.3, -0.2, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	a := EwaldWithAlpha(cell, 0.45)
+	b := EwaldWithAlpha(cell, 0.75)
+	if d := math.Abs(a.Energy - b.Energy); d > 1e-9 {
+		t.Errorf("energy depends on alpha: %.12f vs %.12f (diff %g)", a.Energy, b.Energy, d)
+	}
+	for i := range a.Forces {
+		for d := 0; d < 3; d++ {
+			if diff := math.Abs(a.Forces[i][d] - b.Forces[i][d]); diff > 1e-9 {
+				t.Errorf("force[%d][%d] depends on alpha: %g vs %g", i, d, a.Forces[i][d], b.Forces[i][d])
+			}
+		}
+	}
+}
+
+// TestEwaldTranslationInvariance: rigidly shifting all ions changes
+// nothing - energy and forces are functions of relative geometry only.
+func TestEwaldTranslationInvariance(t *testing.T) {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	if err := cell.DisplaceAtom(2, [3]float64{0.2, 0.1, -0.3}); err != nil {
+		t.Fatal(err)
+	}
+	ref := Ewald(cell)
+	shifted := cell.Clone()
+	for i := range shifted.Atoms {
+		if err := shifted.DisplaceAtom(i, [3]float64{1.7, -2.3, 0.9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := Ewald(shifted)
+	if d := math.Abs(ref.Energy - got.Energy); d > 1e-9 {
+		t.Errorf("energy not translation invariant: diff %g", d)
+	}
+	for i := range ref.Forces {
+		for d := 0; d < 3; d++ {
+			if diff := math.Abs(ref.Forces[i][d] - got.Forces[i][d]); diff > 1e-9 {
+				t.Errorf("force[%d][%d] not translation invariant: %g vs %g", i, d, ref.Forces[i][d], got.Forces[i][d])
+			}
+		}
+	}
+}
+
+// TestEwaldPerfectDiamondForcesZero: every atom of the undistorted diamond
+// lattice sits on an inversion-symmetric site - all forces vanish.
+func TestEwaldPerfectDiamondForcesZero(t *testing.T) {
+	res := Ewald(lattice.MustSiliconSupercell(1, 1, 1))
+	for i, f := range res.Forces {
+		for d := 0; d < 3; d++ {
+			if math.Abs(f[d]) > 1e-9 {
+				t.Errorf("perfect-crystal force[%d][%d] = %g, want 0", i, d, f[d])
+			}
+		}
+	}
+}
+
+// TestEwaldTotalForceZero: the ion-ion interaction is translation
+// invariant, so the forces of a distorted geometry must sum to zero.
+func TestEwaldTotalForceZero(t *testing.T) {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	cell.DisplaceAtom(0, [3]float64{0.4, 0.0, -0.1})
+	cell.DisplaceAtom(5, [3]float64{-0.2, 0.3, 0.0})
+	res := Ewald(cell)
+	var tot [3]float64
+	for _, f := range res.Forces {
+		for d := 0; d < 3; d++ {
+			tot[d] += f[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(tot[d]) > 1e-9 {
+			t.Errorf("total force component %d = %g, want 0", d, tot[d])
+		}
+	}
+}
+
+// TestEwaldForceMatchesFD: the analytic force is the negative gradient of
+// the Ewald energy, pinned by central finite differences.
+func TestEwaldForceMatchesFD(t *testing.T) {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	cell.DisplaceAtom(0, [3]float64{0.25, -0.15, 0.05})
+	res := Ewald(cell)
+	const h = 1e-4
+	for _, atom := range []int{0, 4} {
+		for d := 0; d < 3; d++ {
+			plus := cell.Clone()
+			var dp [3]float64
+			dp[d] = h
+			plus.DisplaceAtom(atom, dp)
+			minus := cell.Clone()
+			dp[d] = -h
+			minus.DisplaceAtom(atom, dp)
+			fd := -(Ewald(plus).Energy - Ewald(minus).Energy) / (2 * h)
+			if diff := math.Abs(fd - res.Forces[atom][d]); diff > 1e-6 {
+				t.Errorf("atom %d component %d: analytic %g vs FD %g (diff %g)", atom, d, res.Forces[atom][d], fd, diff)
+			}
+		}
+	}
+}
+
+// TestEwaldInversionPairAntisymmetry: displacing a bonded pair
+// symmetrically about its bond center preserves the inversion symmetry
+// that maps the two atoms onto each other, so their forces must be exactly
+// equal and opposite.
+func TestEwaldInversionPairAntisymmetry(t *testing.T) {
+	cell := lattice.MustSiliconSupercell(1, 1, 1)
+	// Atoms 0 (origin) and 4 (a/4 (1,1,1)) are a bonded pair; inversion
+	// about the bond midpoint maps the diamond lattice onto itself.
+	d := [3]float64{0.1, 0.1, 0.1}
+	cell.DisplaceAtom(0, d)
+	cell.DisplaceAtom(4, [3]float64{-d[0], -d[1], -d[2]})
+	res := Ewald(cell)
+	for k := 0; k < 3; k++ {
+		if diff := math.Abs(res.Forces[0][k] + res.Forces[4][k]); diff > 1e-9 {
+			t.Errorf("component %d: F0 = %g, F4 = %g not antisymmetric (diff %g)", k, res.Forces[0][k], res.Forces[4][k], diff)
+		}
+	}
+	// The displacement is along the bond, so the force on the displaced
+	// atom must be nonzero (the pair was pushed together).
+	var norm float64
+	for k := 0; k < 3; k++ {
+		norm += res.Forces[0][k] * res.Forces[0][k]
+	}
+	if math.Sqrt(norm) < 1e-4 {
+		t.Errorf("displaced atom feels no force: %v", res.Forces[0])
+	}
+}

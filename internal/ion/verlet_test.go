@@ -1,0 +1,175 @@
+package ion
+
+import (
+	"math"
+	"testing"
+
+	"ptdft/internal/lattice"
+)
+
+// harmonicStub is a synthetic Electrons implementation: a single ion in a
+// harmonic well F = -k (R - R0) with electronic energy k (R-R0)^2 / 2, so
+// the coupled system is an exactly solvable oscillator. It counts calls to
+// verify the integrator's drive sequence.
+type harmonicStub struct {
+	cell     *lattice.Cell
+	k        float64
+	r0       [3]float64
+	steps    int
+	rebuilds int
+}
+
+func (h *harmonicStub) StepElectrons(dt float64) error { h.steps++; return nil }
+func (h *harmonicStub) GeometryChanged() error         { h.rebuilds++; return nil }
+
+func (h *harmonicStub) dx() [3]float64 {
+	d, _ := h.cell.MinimumImage(h.r0, h.cell.Atoms[0].Pos)
+	return d
+}
+
+func (h *harmonicStub) ElectronForces() ([][3]float64, error) {
+	d := h.dx()
+	return [][3]float64{{-h.k * d[0], -h.k * d[1], -h.k * d[2]}}, nil
+}
+
+func (h *harmonicStub) ElectronicEnergy() (float64, error) {
+	d := h.dx()
+	return 0.5 * h.k * (d[0]*d[0] + d[1]*d[1] + d[2]*d[2]), nil
+}
+
+// oneAtomCell builds a single-atom cell centered in a box, with the ion-ion
+// interaction negligible (one ion + background: position independent).
+func oneAtomCell() *lattice.Cell {
+	c, _ := lattice.NewCell(20, 20, 20)
+	c.Species = []lattice.Species{{Symbol: "X", Zval: 0, MassAMU: 1}}
+	c.Atoms = []lattice.Atom{{Species: 0, Pos: [3]float64{10, 10, 10}}}
+	return c
+}
+
+// TestVerletHarmonicOscillator integrates the synthetic oscillator and
+// checks amplitude, period and energy conservation against the analytic
+// solution.
+func TestVerletHarmonicOscillator(t *testing.T) {
+	cell := oneAtomCell()
+	const k = 0.5
+	stub := &harmonicStub{cell: cell, k: k, r0: [3]float64{10, 10, 10}}
+	mass := 1 * 1822.888486209
+	omega := math.Sqrt(k / mass)
+	period := 2 * math.Pi / omega
+
+	// Displace and release.
+	const amp = 0.3
+	cell.DisplaceAtom(0, [3]float64{amp, 0, 0})
+	const kSub = 3
+	v, err := NewVerlet(cell, stub, period/400, kSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := v.TotalEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a period: the ion should arrive at -amp with ~zero velocity.
+	steps := 200
+	for i := 0; i < steps; i++ {
+		if err := v.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := stub.dx()
+	if math.Abs(d[0]+amp) > 0.01*amp {
+		t.Errorf("after T/2 the ion sits at %g, want %g", d[0], -amp)
+	}
+	if math.Abs(d[1]) > 1e-12 || math.Abs(d[2]) > 1e-12 {
+		t.Errorf("motion leaked off-axis: %v", d)
+	}
+	e1, err := v.TotalEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift := math.Abs(e1 - e0); drift > 1e-8 {
+		t.Errorf("energy drift %g over half a period", drift)
+	}
+	if v.Steps != steps {
+		t.Errorf("step counter %d, want %d", v.Steps, steps)
+	}
+	if stub.steps != steps*kSub {
+		t.Errorf("electronic steps %d, want %d (K=%d per ion step)", stub.steps, steps*kSub, kSub)
+	}
+	if stub.rebuilds != 2*steps {
+		t.Errorf("geometry rebuilds %d, want two per ion step (%d): midpoint and endpoint", stub.rebuilds, 2*steps)
+	}
+}
+
+// TestVerletResumeBitCompatible: an interrupted trajectory resumed from
+// (R, v, F) reproduces the uninterrupted one exactly - the contract behind
+// checkpoint format v3.
+func TestVerletResumeBitCompatible(t *testing.T) {
+	build := func() (*Verlet, *harmonicStub) {
+		cell := oneAtomCell()
+		stub := &harmonicStub{cell: cell, k: 0.4, r0: [3]float64{10, 10, 10}}
+		cell.DisplaceAtom(0, [3]float64{0.2, 0.1, -0.05})
+		v, err := NewVerlet(cell, stub, 25.0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, stub
+	}
+	vFull, _ := build()
+	for i := 0; i < 6; i++ {
+		if err := vFull.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vHalf, _ := build()
+	for i := 0; i < 3; i++ {
+		if err := vHalf.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint state: positions, velocities, force cache.
+	pos := vHalf.Cell.Positions()
+	vel := append([][3]float64(nil), vHalf.Vel...)
+	force := append([][3]float64(nil), vHalf.F...)
+
+	vRes, _ := build()
+	if err := vRes.Resume(pos, vel, force, vHalf.Steps); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := vRes.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pf, pr := vFull.Cell.Positions(), vRes.Cell.Positions()
+	for d := 0; d < 3; d++ {
+		if pf[0][d] != pr[0][d] {
+			t.Errorf("position[%d] %v != %v, want bit-identical", d, pf[0][d], pr[0][d])
+		}
+		if vFull.Vel[0][d] != vRes.Vel[0][d] {
+			t.Errorf("velocity[%d] %v != %v, want bit-identical", d, vFull.Vel[0][d], vRes.Vel[0][d])
+		}
+	}
+	if vRes.Steps != vFull.Steps {
+		t.Errorf("resumed step counter %d, want %d", vRes.Steps, vFull.Steps)
+	}
+}
+
+// TestVerletRejectsBadSetup: missing masses and nonsense cadences fail
+// loudly at construction.
+func TestVerletRejectsBadSetup(t *testing.T) {
+	cell := oneAtomCell()
+	stub := &harmonicStub{cell: cell, k: 1, r0: cell.Atoms[0].Pos}
+	if _, err := NewVerlet(cell, stub, -1, 1); err == nil {
+		t.Error("negative ion step accepted")
+	}
+	if _, err := NewVerlet(cell, stub, 1, 0); err == nil {
+		t.Error("zero electronic substeps accepted")
+	}
+	noMass := oneAtomCell()
+	noMass.Species[0].MassAMU = 0
+	if _, err := NewVerlet(noMass, stub, 1, 1); err == nil {
+		t.Error("massless species accepted")
+	}
+}

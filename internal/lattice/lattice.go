@@ -6,6 +6,7 @@ package lattice
 
 import (
 	"fmt"
+	"math"
 
 	"ptdft/internal/units"
 )
@@ -13,8 +14,9 @@ import (
 // Species identifies an atomic species and its pseudopotential-relevant
 // parameters.
 type Species struct {
-	Symbol string
-	Zval   float64 // valence charge seen by the pseudopotential
+	Symbol  string
+	Zval    float64 // valence charge seen by the pseudopotential
+	MassAMU float64 // ion mass in atomic mass units (0 = unknown; ion dynamics rejects it)
 }
 
 // Atom is an atom at a Cartesian position (Bohr) inside the cell.
@@ -97,7 +99,7 @@ func SiliconSupercell(nx, ny, nz int) (*Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	cell.Species = []Species{{Symbol: "Si", Zval: 4}}
+	cell.Species = []Species{{Symbol: "Si", Zval: 4, MassAMU: units.SiliconMassAMU}}
 	for ix := 0; ix < nx; ix++ {
 		for iy := 0; iy < ny; iy++ {
 			for iz := 0; iz < nz; iz++ {
@@ -124,4 +126,77 @@ func MustSiliconSupercell(nx, ny, nz int) *Cell {
 		panic(err)
 	}
 	return c
+}
+
+// Clone returns a deep copy of the cell. Ion-dynamics ranks each clone the
+// shared cell so concurrent position updates never touch shared memory.
+func (c *Cell) Clone() *Cell {
+	out := &Cell{L: c.L}
+	out.Species = append([]Species(nil), c.Species...)
+	out.Atoms = append([]Atom(nil), c.Atoms...)
+	return out
+}
+
+// MinimumImage returns the minimum-image separation vector b - a in the
+// periodic cell and its length.
+func (c *Cell) MinimumImage(a, b [3]float64) ([3]float64, float64) {
+	var d [3]float64
+	var r2 float64
+	for k := 0; k < 3; k++ {
+		dd := b[k] - a[k]
+		dd -= c.L[k] * math.Round(dd/c.L[k])
+		d[k] = dd
+		r2 += dd * dd
+	}
+	return d, math.Sqrt(r2)
+}
+
+// DisplaceAtom moves atom i by the Cartesian vector d (Bohr), wrapping the
+// result into the home cell.
+func (c *Cell) DisplaceAtom(i int, d [3]float64) error {
+	if i < 0 || i >= len(c.Atoms) {
+		return fmt.Errorf("lattice: atom index %d outside [0, %d)", i, len(c.Atoms))
+	}
+	p := c.Atoms[i].Pos
+	for k := 0; k < 3; k++ {
+		p[k] += d[k]
+	}
+	c.Atoms[i].Pos = c.Wrap(p)
+	return nil
+}
+
+// Positions returns a copy of all atom positions in atom order.
+func (c *Cell) Positions() [][3]float64 {
+	pos := make([][3]float64, len(c.Atoms))
+	for i, a := range c.Atoms {
+		pos[i] = a.Pos
+	}
+	return pos
+}
+
+// SetPositions installs new atom positions (wrapped into the home cell),
+// keeping species assignments. The ion integrator writes the advanced
+// geometry through this before the operators are rebuilt.
+func (c *Cell) SetPositions(pos [][3]float64) error {
+	if len(pos) != len(c.Atoms) {
+		return fmt.Errorf("lattice: %d positions for %d atoms", len(pos), len(c.Atoms))
+	}
+	for i, p := range pos {
+		c.Atoms[i].Pos = c.Wrap(p)
+	}
+	return nil
+}
+
+// Masses returns the per-atom ion masses in atomic units (electron
+// masses), or an error if any species has no mass assigned.
+func (c *Cell) Masses() ([]float64, error) {
+	m := make([]float64, len(c.Atoms))
+	for i, a := range c.Atoms {
+		amu := c.Species[a.Species].MassAMU
+		if amu <= 0 {
+			return nil, fmt.Errorf("lattice: species %q has no mass; ion dynamics needs MassAMU", c.Species[a.Species].Symbol)
+		}
+		m[i] = amu * units.ElectronMassPerAMU
+	}
+	return m, nil
 }

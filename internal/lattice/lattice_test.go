@@ -123,6 +123,117 @@ func TestNewCellRejectsBadEdges(t *testing.T) {
 	}
 }
 
+// TestCloneIsDeep: mutating a clone's atoms or species must not touch the
+// original - the distributed ion ranks rely on this isolation.
+func TestCloneIsDeep(t *testing.T) {
+	cell := MustSiliconSupercell(1, 1, 1)
+	clone := cell.Clone()
+	if err := clone.DisplaceAtom(0, [3]float64{0.5, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	clone.Species[0].MassAMU = 1
+	if cell.Atoms[0].Pos != (MustSiliconSupercell(1, 1, 1).Atoms[0].Pos) {
+		t.Error("clone displacement leaked into the original cell")
+	}
+	if cell.Species[0].MassAMU == 1 {
+		t.Error("clone species edit leaked into the original cell")
+	}
+	if clone.Volume() != cell.Volume() || clone.NumAtoms() != cell.NumAtoms() {
+		t.Error("clone lost cell invariants")
+	}
+}
+
+// TestDisplaceAtomPreservesInvariants: displacing one atom keeps every
+// cell invariant - counts, volume, electron count, positions in the home
+// cell - and moves exactly the requested atom by exactly the requested
+// minimum-image offset.
+func TestDisplaceAtomPreservesInvariants(t *testing.T) {
+	cell := MustSiliconSupercell(1, 1, 1)
+	ref := cell.Clone()
+	d := [3]float64{0.3, -0.2, 11.0} // the z component wraps around the cell
+	if err := cell.DisplaceAtom(3, d); err != nil {
+		t.Fatal(err)
+	}
+	if cell.NumAtoms() != ref.NumAtoms() || cell.NumElectrons() != ref.NumElectrons() ||
+		cell.NumBands() != ref.NumBands() || cell.Volume() != ref.Volume() {
+		t.Error("displacement changed a cell invariant")
+	}
+	for i, at := range cell.Atoms {
+		for k := 0; k < 3; k++ {
+			if at.Pos[k] < 0 || at.Pos[k] >= cell.L[k] {
+				t.Errorf("atom %d outside home cell after displacement: %v", i, at.Pos)
+			}
+		}
+		if i != 3 && at.Pos != ref.Atoms[i].Pos {
+			t.Errorf("displacement of atom 3 moved atom %d", i)
+		}
+	}
+	// The minimum-image separation from the original site equals the
+	// wrapped displacement.
+	mi, dist := cell.MinimumImage(ref.Atoms[3].Pos, cell.Atoms[3].Pos)
+	want := [3]float64{0.3, -0.2, 11.0 - cell.L[2]}
+	var wantLen float64
+	for k := 0; k < 3; k++ {
+		if math.Abs(mi[k]-want[k]) > 1e-12 {
+			t.Errorf("minimum image component %d = %g, want %g", k, mi[k], want[k])
+		}
+		wantLen += want[k] * want[k]
+	}
+	if math.Abs(dist-math.Sqrt(wantLen)) > 1e-12 {
+		t.Errorf("minimum image length %g, want %g", dist, math.Sqrt(wantLen))
+	}
+	if err := cell.DisplaceAtom(99, d); err == nil {
+		t.Error("out-of-range atom index accepted")
+	}
+}
+
+// TestPositionsSetPositionsRoundTrip: the integrator's position plumbing -
+// read, advance, write back wrapped - preserves the atom order and wraps
+// into the home cell.
+func TestPositionsSetPositionsRoundTrip(t *testing.T) {
+	cell := MustSiliconSupercell(1, 1, 1)
+	pos := cell.Positions()
+	for i := range pos {
+		pos[i][0] += cell.L[0] // a full period: must wrap to the identical point
+	}
+	if err := cell.SetPositions(pos); err != nil {
+		t.Fatal(err)
+	}
+	ref := MustSiliconSupercell(1, 1, 1)
+	for i := range cell.Atoms {
+		_, d := cell.MinimumImage(ref.Atoms[i].Pos, cell.Atoms[i].Pos)
+		if d > 1e-12 {
+			t.Errorf("atom %d moved by %g under a full-period shift", i, d)
+		}
+	}
+	if err := cell.SetPositions(pos[:3]); err == nil {
+		t.Error("short position list accepted")
+	}
+}
+
+// TestMasses: silicon cells carry the Si mass for every atom; species
+// without a mass are rejected - the ion integrator must not divide by
+// zero.
+func TestMasses(t *testing.T) {
+	cell := MustSiliconSupercell(1, 1, 2)
+	m, err := cell.Masses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.SiliconMassAMU * units.ElectronMassPerAMU
+	for i, mi := range m {
+		if math.Abs(mi-want) > 1e-6 {
+			t.Errorf("atom %d mass %g, want %g", i, mi, want)
+		}
+	}
+	bad, _ := NewCell(1, 1, 1)
+	bad.Species = []Species{{Symbol: "X", Zval: 1}}
+	bad.Atoms = []Atom{{Species: 0}}
+	if _, err := bad.Masses(); err == nil {
+		t.Error("massless species accepted")
+	}
+}
+
 func TestOddElectronBandCount(t *testing.T) {
 	c, _ := NewCell(1, 1, 1)
 	c.Species = []Species{{Symbol: "X", Zval: 3}}

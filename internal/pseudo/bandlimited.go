@@ -20,7 +20,7 @@ import (
 func BuildNonlocalBandLimited(g *grid.Grid, pots map[int]*Potential) *Nonlocal {
 	nl := &Nonlocal{ng: g.NTot, dv: g.DVWave()}
 	pos := g.WavePointPositions()
-	for _, atom := range g.Cell.Atoms {
+	for ai, atom := range g.Cell.Atoms {
 		pot, ok := pots[atom.Species]
 		if !ok {
 			continue
@@ -28,6 +28,7 @@ func BuildNonlocalBandLimited(g *grid.Grid, pots map[int]*Potential) *Nonlocal {
 		for _, spec := range pot.Projectors {
 			sp := buildBandLimited(g, pos, atom.Pos, spec)
 			sp.d = spec.D
+			sp.atom = ai
 			nl.projs = append(nl.projs, sp)
 		}
 	}

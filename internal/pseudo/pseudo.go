@@ -98,9 +98,13 @@ type Nonlocal struct {
 }
 
 type sparseProjector struct {
-	d   float64
-	idx []int32
-	val []float64
+	d    float64
+	atom int // index into Cell.Atoms, for force assembly
+	idx  []int32
+	val  []float64
+	// grad holds the center-gradient fields d beta / d R_d sampled on the
+	// same support, present only for ion-dynamics builds (BuildNonlocalMD).
+	grad [3][]float64
 }
 
 // BuildNonlocal constructs the sparse projectors for every atom in the cell
@@ -109,7 +113,7 @@ func BuildNonlocal(g *grid.Grid, pots map[int]*Potential) *Nonlocal {
 	nl := &Nonlocal{ng: g.NTot, dv: g.DVWave()}
 	pos := g.WavePointPositions()
 	cellL := g.Cell.L
-	for _, atom := range g.Cell.Atoms {
+	for ai, atom := range g.Cell.Atoms {
 		pot, ok := pots[atom.Species]
 		if !ok {
 			continue
@@ -117,6 +121,7 @@ func BuildNonlocal(g *grid.Grid, pots map[int]*Potential) *Nonlocal {
 		for _, spec := range pot.Projectors {
 			sp := buildSparse(pos, cellL, atom.Pos, spec, g.DVWave())
 			sp.d = spec.D
+			sp.atom = ai
 			nl.projs = append(nl.projs, sp)
 		}
 	}

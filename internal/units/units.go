@@ -26,6 +26,14 @@ const (
 	// SiliconLatticeAngstrom is the conventional diamond-cubic lattice
 	// constant of silicon used in the paper's test systems (section 4).
 	SiliconLatticeAngstrom = 5.43
+
+	// ElectronMassPerAMU converts atomic mass units to atomic units of
+	// mass (electron masses): 1 u = 1822.888... m_e. Ion masses enter the
+	// Ehrenfest equations of motion in these units.
+	ElectronMassPerAMU = 1822.888486209
+
+	// SiliconMassAMU is the standard atomic weight of silicon.
+	SiliconMassAMU = 28.0855
 )
 
 // AttosecondsToAU converts a time in attoseconds to atomic units.
