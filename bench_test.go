@@ -10,6 +10,7 @@
 package ptdft_test
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"testing"
@@ -494,6 +495,7 @@ func BenchmarkRealDistributedExchange(b *testing.B) {
 		{"bcast", dist.ExchangeOptions{Strategy: dist.BcastSequential}},
 		{"bcast_overlap", dist.ExchangeOptions{Strategy: dist.BcastOverlapped}},
 		{"roundrobin", dist.ExchangeOptions{Strategy: dist.RoundRobin}},
+		{"steal", dist.ExchangeOptions{Strategy: dist.Steal}},
 		{"bcast_singleprec", dist.ExchangeOptions{Strategy: dist.BcastSequential, SinglePrecision: true}},
 		{"overlap_singleprec", dist.ExchangeOptions{Strategy: dist.BcastOverlapped, SinglePrecision: true}},
 	}
@@ -575,6 +577,128 @@ func BenchmarkDistExchange(b *testing.B) {
 		})
 		recordBench(b, g, nb, -1)
 	})
+}
+
+// Tentpole ablation (PR 6): straggler resilience of the exchange
+// schedules. One op is one collective exact exchange on 8 real ranks with
+// rank 0's compute sections stretched 2x by the injected perturbation
+// model - the jittered-node scenario the dynamic work queue exists for.
+// The static schedules pin a fixed share of the Poisson solves on the slow
+// rank and wait for it; under steal the fast ranks claim the chunks the
+// straggler never reaches. Recorded into BENCH_fock.json: the trajectory
+// test pins steal >= 1.3x faster than the best static strategy under the
+// pr6-steal label.
+func BenchmarkDistExchangeStraggler(b *testing.B) {
+	g, psi, nb := fixture(b)
+	kernel := fock.BuildKernel(g, xc.HSE06())
+	const ranks = 8
+	p := &mpi.Perturb{ComputeScale: func(rank int) float64 {
+		if rank == 0 {
+			return 2.0
+		}
+		return 1.0
+	}}
+	for _, tc := range []struct {
+		name string
+		opt  dist.ExchangeOptions
+	}{
+		{"bcast", dist.ExchangeOptions{Strategy: dist.BcastSequential}},
+		{"overlap", dist.ExchangeOptions{Strategy: dist.BcastOverlapped}},
+		{"roundrobin", dist.ExchangeOptions{Strategy: dist.RoundRobin}},
+		{"steal", dist.ExchangeOptions{Strategy: dist.Steal}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			// One worker per rank: the schedule's balance is under
+			// measurement, not the thread pool's.
+			defer parallel.SetMaxWorkers(parallel.SetMaxWorkers(1))
+			b.ReportAllocs()
+			mpi.RunPerturbed(ranks, p, func(c *mpi.Comm) {
+				d, err := dist.NewCtx(c, g, nb, 2)
+				if err != nil {
+					panic(err)
+				}
+				lo, hi := d.BandRange(c.Rank())
+				local := wavefunc.Clone(psi[lo*g.NG : hi*g.NG])
+				ex := d.NewExchangeWorkspace()
+				d.FockExchangeWS(local, local, kernel, 0.25, tc.opt, ex) // warm
+				c.Barrier()
+				if c.Rank() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					d.FockExchangeWS(local, local, kernel, 0.25, tc.opt, ex)
+				}
+				c.Barrier()
+				if c.Rank() == 0 {
+					b.StopTimer()
+				}
+			})
+			recordBench(b, g, nb, -1)
+		})
+	}
+}
+
+// Scaling curves for the dynamic schedule, recorded into BENCH_fock.json
+// alongside the straggler ablation. "strong" applies the exchange to the
+// fixed Si8 reference set on growing rank counts; "weak" grows the band
+// count with the ranks (nb = 4 x ranks) so the per-rank block stays fixed
+// while the global pair work grows - the regime the SC'19 weak-scaling
+// figure probes. Both run unperturbed: the number on record is where the
+// halved triangle count and the queue overheads leave the dynamic schedule
+// relative to the overlapped broadcast when nothing straggles.
+func BenchmarkDistExchangeScaling(b *testing.B) {
+	g, psi, nb := fixture(b)
+	kernel := fock.BuildKernel(g, xc.HSE06())
+	runOne := func(b *testing.B, ranks int, block []complex128, bands int, s dist.ExchangeStrategy) {
+		b.Helper()
+		defer parallel.SetMaxWorkers(parallel.SetMaxWorkers(1))
+		opt := dist.ExchangeOptions{Strategy: s}
+		b.ReportAllocs()
+		mpi.Run(ranks, func(c *mpi.Comm) {
+			d, err := dist.NewCtx(c, g, bands, 2)
+			if err != nil {
+				panic(err)
+			}
+			lo, hi := d.BandRange(c.Rank())
+			local := wavefunc.Clone(block[lo*g.NG : hi*g.NG])
+			ex := d.NewExchangeWorkspace()
+			d.FockExchangeWS(local, local, kernel, 0.25, opt, ex) // warm
+			c.Barrier()
+			if c.Rank() == 0 {
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				d.FockExchangeWS(local, local, kernel, 0.25, opt, ex)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				b.StopTimer()
+			}
+		})
+		recordBench(b, g, bands, -1)
+	}
+	strategies := []struct {
+		name string
+		s    dist.ExchangeStrategy
+	}{{"overlap", dist.BcastOverlapped}, {"steal", dist.Steal}}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		for _, st := range strategies {
+			ranks, st := ranks, st
+			b.Run(fmt.Sprintf("strong_r%d_%s", ranks, st.name), func(b *testing.B) {
+				runOne(b, ranks, psi, nb, st.s)
+			})
+		}
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		wnb := 4 * ranks
+		wpsi := wavefunc.Random(g, wnb, 7)
+		for _, st := range strategies {
+			ranks, st := ranks, st
+			b.Run(fmt.Sprintf("weak_r%d_%s", ranks, st.name), func(b *testing.B) {
+				runOne(b, ranks, wpsi, wnb, st.s)
+			})
+		}
+	}
 }
 
 // Tentpole ablation: multiple time stepping. One op is one full M = 4

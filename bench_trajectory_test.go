@@ -96,4 +96,49 @@ func TestBenchTrajectoryRecordsImprovement(t *testing.T) {
 		t.Errorf("recorded force build (%.0f ns) exceeds half the coupled Ehrenfest step (%.0f ns)",
 			forces.NsPerOp, step.NsPerOp)
 	}
+
+	// The dynamic work-queue schedule (label pr6-steal): one op is one
+	// collective exact exchange on 8 ranks with rank 0's compute stretched
+	// 2x by the injected perturbation model. The static schedules cannot
+	// move the straggler's share; the steal schedule sheds it through the
+	// shared chunk counter, and the pin requires the recorded steal time to
+	// beat the BEST static strategy - not a cherry-picked one - by at
+	// least 1.3x.
+	stealRec, okT := bf.Find("BenchmarkDistExchangeStraggler/steal", "pr6-steal")
+	if !okT {
+		t.Errorf("pr6-steal trajectory incomplete: BenchmarkDistExchangeStraggler/steal missing")
+	} else {
+		best := 0.0
+		bestName := ""
+		for _, static := range []string{"bcast", "overlap", "roundrobin"} {
+			rec, ok := bf.Find("BenchmarkDistExchangeStraggler/"+static, "pr6-steal")
+			if !ok {
+				t.Errorf("pr6-steal trajectory incomplete: static strategy %q missing", static)
+				continue
+			}
+			if best == 0 || rec.NsPerOp < best {
+				best, bestName = rec.NsPerOp, static
+			}
+		}
+		if best > 0 {
+			if ratio := best / stealRec.NsPerOp; ratio < 1.3 {
+				t.Errorf("recorded straggler resilience %.2fx < 1.3x (best static %s %.0f ns vs steal %.0f ns)",
+					ratio, bestName, best, stealRec.NsPerOp)
+			}
+		}
+	}
+	// The unperturbed scaling curve must also be on record: the halved
+	// symmetric-pair count keeps the dynamic schedule from costing anything
+	// when nothing straggles (steal no slower than the overlapped broadcast
+	// at every recorded rank count).
+	for _, pt := range []string{"strong_r1", "strong_r2", "strong_r4", "strong_r8", "weak_r1", "weak_r2", "weak_r4", "weak_r8"} {
+		ov, okO := bf.Find("BenchmarkDistExchangeScaling/"+pt+"_overlap", "pr6-steal")
+		st, okS := bf.Find("BenchmarkDistExchangeScaling/"+pt+"_steal", "pr6-steal")
+		switch {
+		case !okO || !okS:
+			t.Errorf("pr6-steal scaling record %s incomplete: overlap=%v steal=%v", pt, okO, okS)
+		case st.NsPerOp > ov.NsPerOp:
+			t.Errorf("%s: recorded steal (%.0f ns) slower than overlapped broadcast (%.0f ns)", pt, st.NsPerOp, ov.NsPerOp)
+		}
+	}
 }

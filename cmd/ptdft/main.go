@@ -44,26 +44,27 @@ import (
 )
 
 type config struct {
-	cells    [3]int
-	ecut     float64
-	hybrid   bool
-	useACE   bool
-	aceHold  bool
-	mts      int
-	method   string
-	dtAs     float64
-	steps    int
-	kick     float64
-	pulseE0  float64
-	ranks    int
-	seed     int64
-	csvPath  string
-	quiet    bool
-	strategy string
-	exchange dist.ExchangeStrategy
-	single   bool
-	savePath string
-	loadPath string
+	cells      [3]int
+	ecut       float64
+	hybrid     bool
+	useACE     bool
+	aceHold    bool
+	mts        int
+	method     string
+	dtAs       float64
+	steps      int
+	kick       float64
+	pulseE0    float64
+	ranks      int
+	seed       int64
+	csvPath    string
+	quiet      bool
+	strategy   string
+	exchange   dist.ExchangeStrategy
+	stealChunk int
+	single     bool
+	savePath   string
+	loadPath   string
 
 	// Ehrenfest ion dynamics.
 	md           bool
@@ -92,7 +93,8 @@ func parseFlags() (*config, error) {
 	flag.Int64Var(&c.seed, "seed", 1234, "ground-state starting guess seed")
 	flag.StringVar(&c.csvPath, "csv", "", "write per-step observables to this CSV file")
 	flag.BoolVar(&c.quiet, "q", false, "suppress per-step output")
-	flag.StringVar(&c.strategy, "exchange", "overlap", "distributed exchange strategy: bcast, overlap, roundrobin")
+	flag.StringVar(&c.strategy, "exchange", "overlap", "distributed exchange strategy: "+strings.Join(dist.StrategyNames(), ", "))
+	flag.IntVar(&c.stealChunk, "stealchunk", 0, "pairs per work-queue claim under -exchange steal (0 = auto)")
 	flag.BoolVar(&c.single, "singleprec", false, "single-precision MPI payloads (distributed runs)")
 	flag.StringVar(&c.savePath, "save", "", "write a restart checkpoint here after the last step")
 	flag.StringVar(&c.loadPath, "load", "", "resume from a checkpoint instead of the ground state")
@@ -167,6 +169,12 @@ func parseFlags() (*config, error) {
 	var err error
 	if c.exchange, err = dist.ParseStrategy(c.strategy); err != nil {
 		return nil, err
+	}
+	if c.stealChunk < 0 {
+		return nil, fmt.Errorf("-stealchunk wants a positive chunk size (or 0 for auto), got %d", c.stealChunk)
+	}
+	if c.stealChunk > 0 && c.exchange != dist.Steal {
+		return nil, fmt.Errorf("-stealchunk tunes the work-queue granularity of -exchange steal; it does nothing under -exchange %s", c.strategy)
 	}
 	return &c, nil
 }
@@ -448,6 +456,7 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 		ACE:               cfg.useACE,
 		ACEHoldThroughSCF: cfg.aceHold,
 		MTSPeriod:         cfg.mts,
+		StealChunk:        cfg.stealChunk,
 	}
 	op := "none (semi-local)"
 	switch {
@@ -660,6 +669,7 @@ func runDistributedMD(cfg *config, cell *lattice.Cell, g *grid.Grid, psiGS, psi0
 		ACE:               cfg.useACE,
 		ACEHoldThroughSCF: cfg.aceHold,
 		MTSPeriod:         cfg.mts,
+		StealChunk:        cfg.stealChunk,
 	}
 	fmt.Printf("distributed ehrenfest: %d ranks, %d ion steps x K=%d electronic steps\n", cfg.ranks, cfg.ionSteps, cfg.ionSubsteps())
 

@@ -15,6 +15,12 @@
 //
 // Output is aligned text matching the rows/series the paper reports, for
 // side-by-side comparison in EXPERIMENTS.md.
+//
+// One experiment is measured, not modeled: `-experiment sched` runs the
+// real distributed exchange (internal/dist over the goroutine MPI runtime)
+// under injected per-rank slowdowns and NIC delay, comparing the static
+// schedules against the dynamic work queue. It takes a few seconds and is
+// therefore not part of `-experiment all`.
 package main
 
 import (
@@ -26,8 +32,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to regenerate (table1,table2,fig3,fig6,fig7,fig8,fig9,fig10,power,flops,all)")
+	experiment := flag.String("experiment", "all", "which experiment to regenerate (table1,table2,fig3,fig6,fig7,fig8,fig9,fig10,power,flops,all; sched measures the real distributed exchange and runs only when named)")
 	natom := flag.Int("natoms", 1536, "silicon system size (atoms)")
+	stragglerFactor := flag.Float64("straggler", 2.0, "compute slowdown of rank 0 in the sched experiment's straggler rows")
 	flag.Parse()
 
 	m := perf.New(perf.SiliconSystem(*natom))
@@ -71,6 +78,11 @@ func main() {
 	}
 	if run("flops") {
 		flops(m)
+		any = true
+	}
+	// Measured, not modeled: only runs when asked for by name.
+	if *experiment == "sched" {
+		sched(*stragglerFactor)
 		any = true
 	}
 	if !any {

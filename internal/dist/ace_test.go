@@ -27,7 +27,7 @@ func TestDistACEExactOnReference(t *testing.T) {
 	hyb := xc.HSE06()
 	kernel := fock.BuildKernel(g, hyb)
 	for _, ranks := range []int{1, 2, 4} {
-		for _, strat := range []ExchangeStrategy{BcastSequential, BcastOverlapped, RoundRobin} {
+		for _, strat := range []ExchangeStrategy{BcastSequential, BcastOverlapped, RoundRobin, Steal} {
 			opt := ExchangeOptions{Strategy: strat}
 			mpi.Run(ranks, func(c *mpi.Comm) {
 				d, err := NewCtx(c, g, nb, 2)
@@ -114,6 +114,13 @@ func TestDistStepAllocs(t *testing.T) {
 		// zero-alloc too.
 		{"ace_mts", ExchangeOptions{Strategy: BcastSequential, ACE: true, MTSPeriod: 4}},
 		{"exact_mts", ExchangeOptions{Strategy: BcastSequential, MTSPeriod: 4}},
+		// The work queue must ride the existing workspaces: the triangle
+		// schedule (live iterate), the ACE build, and the rectangle
+		// schedule (frozen MTS references) all claim from preallocated
+		// pair tables and contract into preallocated accumulators.
+		{"exact_steal", ExchangeOptions{Strategy: Steal}},
+		{"ace_steal", ExchangeOptions{Strategy: Steal, ACE: true}},
+		{"exact_steal_mts", ExchangeOptions{Strategy: Steal, MTSPeriod: 4}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			mpi.Run(1, func(c *mpi.Comm) {

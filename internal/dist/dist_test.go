@@ -167,6 +167,9 @@ func TestFockExchangeMatchesSerialOperator(t *testing.T) {
 		{"overlap", ExchangeOptions{Strategy: BcastOverlapped}, 1e-12},
 		{"roundrobin", ExchangeOptions{Strategy: RoundRobin}, 1e-11},
 		{"bcast_single", ExchangeOptions{Strategy: BcastSequential, SinglePrecision: true}, 1e-5},
+		{"steal", ExchangeOptions{Strategy: Steal}, 1e-12},
+		{"steal_chunk1", ExchangeOptions{Strategy: Steal, StealChunk: 1}, 1e-12},
+		{"steal_single", ExchangeOptions{Strategy: Steal, SinglePrecision: true}, 1e-5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -238,5 +241,19 @@ func TestCommunicationIsMetered(t *testing.T) {
 	ratio := float64(bc.BytesFor(mpi.ClassBcast)) / float64(bcS.BytesFor(mpi.ClassBcast))
 	if math.Abs(ratio-2) > 1e-9 {
 		t.Errorf("single precision volume ratio %g, want 2", ratio)
+	}
+	// The steal schedule broadcasts the same nb reference bands over the
+	// same trees as bcast, claims chunks over the RMA counter, votes on the
+	// schedule shape, and ships its remote contributions in one Alltoallv;
+	// nothing bills to P2P.
+	sl := run(ExchangeOptions{Strategy: Steal})
+	if sl.BytesFor(mpi.ClassBcast) != bc.BytesFor(mpi.ClassBcast) {
+		t.Errorf("steal Bcast bytes = %d, want bcast's %d", sl.BytesFor(mpi.ClassBcast), bc.BytesFor(mpi.ClassBcast))
+	}
+	if sl.BytesFor(mpi.ClassRMA) == 0 || sl.CallsFor(mpi.ClassRMA) != sl.BytesFor(mpi.ClassRMA)/8 {
+		t.Errorf("steal RMA accounting: bytes=%d calls=%d", sl.BytesFor(mpi.ClassRMA), sl.CallsFor(mpi.ClassRMA))
+	}
+	if sl.BytesFor(mpi.ClassAlltoallv) == 0 || sl.BytesFor(mpi.ClassP2P) != 0 {
+		t.Errorf("steal strategy billed Alltoallv=%d P2P=%d", sl.BytesFor(mpi.ClassAlltoallv), sl.BytesFor(mpi.ClassP2P))
 	}
 }

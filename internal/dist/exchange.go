@@ -32,6 +32,15 @@ const (
 	// folded in every block. Trades the log(P) tree for P-1 neighbor
 	// messages; the paper discusses it as the broadcast alternative.
 	RoundRobin
+	// Steal replaces the static band-ownership schedule with a dynamic
+	// work queue over the symmetric exchange pairs: ranks claim pair
+	// chunks on demand through an MPI_Fetch_and_op counter (the HONPAS
+	// dynamic parallel distribution, arXiv:2009.03555) while the band
+	// broadcasts run ahead of the contraction on the overlapped pipeline.
+	// A straggling rank simply claims fewer chunks instead of gating
+	// every round. See steal.go for the schedule and DESIGN.md for the
+	// overlap timeline.
+	Steal
 )
 
 // strategyTable is the single source of truth for strategy names: String,
@@ -44,6 +53,7 @@ var strategyTable = []struct {
 	{BcastSequential, "bcast"},
 	{BcastOverlapped, "overlap"},
 	{RoundRobin, "roundrobin"},
+	{Steal, "steal"},
 }
 
 // String names the strategy as the -exchange flag spells it.
@@ -111,6 +121,12 @@ type ExchangeOptions struct {
 	// what makes -acehold the M = 1 special case of -mts. Consumed by
 	// PTCNSolver.
 	MTSPeriod int
+	// StealChunk sets how many consecutive exchange pairs one work-queue
+	// claim hands out under the Steal strategy. 0 picks a balance-oriented
+	// default (about eight claims per rank); larger chunks cut counter
+	// traffic, smaller chunks improve straggler resilience. Ignored by the
+	// static strategies.
+	StealChunk int
 }
 
 // ExchangeWorkspace holds every buffer one rank's FockExchange needs:
@@ -140,6 +156,10 @@ type ExchangeWorkspace struct {
 	kernel []float64
 	alpha  float64
 	nbl    int
+
+	// steal holds the work-stealing schedule's buffers, allocated on the
+	// first Steal-strategy call so the static strategies pay nothing.
+	steal *stealState
 }
 
 // NewExchangeWorkspace allocates the exchange scratch for this rank's band
@@ -228,6 +248,8 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 		d.exchangeBcastOverlapped(phi, opt.SinglePrecision, ws)
 	case RoundRobin:
 		d.exchangeRoundRobin(phi, opt.SinglePrecision, ws)
+	case Steal:
+		d.exchangeSteal(phi, psi, opt.SinglePrecision, opt.StealChunk, ws)
 	default:
 		d.exchangeBcastSequential(phi, opt.SinglePrecision, ws)
 	}
@@ -241,6 +263,15 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 			d.G.FromRealSerialWS(ws.vx[j*ng:(j+1)*ng], ws.acc[j*ntot:(j+1)*ntot], ws.fft[w])
 		})
 	}
+	// Contributions other ranks computed for our bands arrive on the sphere
+	// (the steal reduce runs after the claim loop), so they join after the
+	// accumulator projection above.
+	if st := ws.steal; st != nil && st.pending {
+		for i := range st.vxAdd {
+			ws.vx[i] += st.vxAdd[i]
+		}
+		st.pending = false
+	}
 	return ws.vx
 }
 
@@ -253,16 +284,18 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 func (ws *ExchangeWorkspace) process(band []complex128) {
 	d := ws.g
 	ntot := d.G.NTot
+	t0 := d.C.WorkStart() // straggler model: stretch this rank's fold work
 	d.G.ToRealSerialWS(ws.phiR, band, ws.fftPhi)
 	if parallel.NumWorkers(ws.nbl) <= 1 {
 		for j := 0; j < ws.nbl; j++ {
 			fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[:ntot], ws.fft[0])
 		}
-		return
+	} else {
+		parallel.ForWorker(ws.nbl, func(w, j int) {
+			fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[w*ntot:(w+1)*ntot], ws.fft[w])
+		})
 	}
-	parallel.ForWorker(ws.nbl, func(w, j int) {
-		fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[w*ntot:(w+1)*ntot], ws.fft[w])
-	})
+	d.C.WorkEnd(t0)
 }
 
 // bcastBand broadcasts one band from root into buf, optionally through a

@@ -1,0 +1,382 @@
+// Work-stealing Fock-exchange schedule: the static band-ownership loops of
+// the other strategies are replaced by a dynamic work queue over the
+// symmetric exchange pairs, following the HONPAS dynamic parallel
+// distribution algorithm (arXiv:2009.03555). Ranks claim chunks of
+// consecutive pairs through an MPI_Fetch_and_op counter while the band
+// broadcasts run ahead of the contraction, so a straggling rank claims
+// fewer chunks instead of gating every one of the nb broadcast rounds.
+//
+// Two schedule shapes share the machinery:
+//
+//   - Triangle: when the reference and target blocks hold the same values
+//     at full wire precision (the dominant case - the exact operator on the
+//     live iterate, the ACE build), one Poisson solve serves the unordered
+//     pair (i, j): acc_j += -alpha phi_i v and acc_i += -alpha phi_j
+//     conj(v) with v = Poisson[phi_i^* phi_j], exactly the serial
+//     operator's pair symmetry. nb(nb+1)/2 solves instead of nb*nb.
+//   - Rectangle: when the blocks differ (frozen MTS references) or the
+//     wire rounds phi to single precision (the mirrored contribution would
+//     diverge from the bcast result at wire precision), every ordered pair
+//     (i, j) is scheduled and contributes only to target j, from exactly
+//     the inputs the bcast strategy uses: wire-precision phi_i, full-
+//     precision psi_j (targets always ship in double).
+//
+// Pairs are ordered by their readiness index m = max(i, j): a chunk is
+// contractable as soon as band m has arrived, so claims overlap the
+// broadcast pipeline instead of waiting for the full reference set.
+//
+// Contributions to bands this rank does not own are staged in real space
+// and shipped to their owners after the claim loop with one dense
+// Alltoallv of sphere coefficients; FockExchangeWS folds the received sum
+// into vx after the accumulator projection. The reduce always runs in
+// double precision - single-precision wire payloads round only the
+// reference orbitals, as in the static strategies - so the result matches
+// bcast to accumulation-order rounding regardless of which rank computed
+// which pair.
+package dist
+
+import (
+	"ptdft/internal/fock"
+	"ptdft/internal/mpi"
+)
+
+// stealState holds the work-stealing schedule's buffers, allocated lazily
+// on the first Steal call and reused forever after (the steady-state
+// exchange performs no allocations on one rank; on several ranks only the
+// mailbox copies of the mpi layer remain).
+type stealState struct {
+	// Schedule, cached for (nb, rect): positions map to pairs through
+	// pairI/pairJ, readiness-ordered (see stealFillPairs).
+	rect   bool
+	npairs int
+	pairI  []int32
+	pairJ  []int32
+
+	allR    []complex128 // NB x NTot: every reference band in real space
+	psiAllR []complex128 // NB x NTot: every target band (rectangle, size > 1)
+	psiBand [2][]complex128
+	remR    []complex128   // NB x NTot: accumulators for bands owned elsewhere
+	remG    []complex128   // NB x NG: remote contributions on the sphere
+	touched []bool         // NB: remote bands this rank contributed to
+	send    [][]complex128 // Alltoallv views into remG, one per rank
+	vxAdd   []complex128   // nbl x NG: summed contributions received for our bands
+	pending bool           // vxAdd awaits the post-projection fold
+}
+
+// stealPairCount returns how many pairs the schedule hands out.
+func stealPairCount(nb int, rect bool) int {
+	if rect {
+		return nb * nb
+	}
+	return nb * (nb + 1) / 2
+}
+
+// stealFillPairs writes the readiness-ordered pair schedule into pi/pj
+// (each at least stealPairCount long): block m lists every pair whose
+// larger band index is m, so positions [0, cum(m)) only need bands
+// [0, m] - the claim loop can contract them while later broadcasts are
+// still in flight. Triangle blocks hold (i, m) for i <= m; rectangle
+// blocks add the transposed (m, j) for j < m.
+func stealFillPairs(nb int, rect bool, pi, pj []int32) {
+	t := 0
+	for m := 0; m < nb; m++ {
+		for i := 0; i <= m; i++ {
+			pi[t], pj[t] = int32(i), int32(m)
+			t++
+		}
+		if rect {
+			for j := 0; j < m; j++ {
+				pi[t], pj[t] = int32(m), int32(j)
+				t++
+			}
+		}
+	}
+}
+
+// stealChunkSize resolves the pairs-per-claim granularity: the requested
+// size, or a default targeting about eight claims per rank - fine enough
+// that a 2x straggler sheds most of its share to the fast ranks, coarse
+// enough that counter traffic stays negligible next to the Poisson solves
+// (one 8-byte fetch-and-op buys a chunk of full-box FFT pipelines).
+func stealChunkSize(npairs, size, req int) int {
+	if req > 0 {
+		return req
+	}
+	c := npairs / (8 * size)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// sameBlock reports whether two band blocks carry identical values (the
+// pair symmetry is only valid when reference and target coincide).
+func sameBlock(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureSteal sizes the schedule and buffers for this exchange shape.
+// Everything is grown once and kept; switching between triangle and
+// rectangle (the MTS cadence alternates them) only refills the pair index
+// tables in place.
+func (ws *ExchangeWorkspace) ensureSteal(rect bool) *stealState {
+	d := ws.g
+	ng, ntot, nb := d.G.NG, d.G.NTot, d.NB
+	size := d.C.Size()
+	st := ws.steal
+	if st == nil {
+		st = &stealState{npairs: -1}
+		ws.steal = st
+	}
+	if cap(st.pairI) < nb*nb {
+		st.pairI = make([]int32, nb*nb)
+		st.pairJ = make([]int32, nb*nb)
+		st.npairs = -1
+	}
+	if st.npairs < 0 || st.rect != rect {
+		st.rect, st.npairs = rect, stealPairCount(nb, rect)
+		stealFillPairs(nb, rect, st.pairI, st.pairJ)
+	}
+	if len(st.allR) < nb*ntot {
+		st.allR = make([]complex128, nb*ntot)
+	}
+	if size > 1 {
+		if len(st.remR) < nb*ntot {
+			st.remR = make([]complex128, nb*ntot)
+			st.remG = make([]complex128, nb*ng)
+			st.touched = make([]bool, nb)
+			st.vxAdd = make([]complex128, ws.nbl*ng)
+			st.send = make([][]complex128, size)
+			for r := 0; r < size; r++ {
+				lo, hi := d.BandRange(r)
+				st.send[r] = st.remG[lo*ng : hi*ng]
+			}
+		}
+		if rect && len(st.psiAllR) < nb*ntot {
+			st.psiAllR = make([]complex128, nb*ntot)
+			st.psiBand[0] = make([]complex128, ng)
+			st.psiBand[1] = make([]complex128, ng)
+		}
+	}
+	return st
+}
+
+// stealDst returns the real-space accumulator for band b: the local acc
+// row when this rank owns b, the staged remote row otherwise.
+func (ws *ExchangeWorkspace) stealDst(b, myLo int, st *stealState) []complex128 {
+	ntot := ws.g.G.NTot
+	if b >= myLo && b < myLo+ws.nbl {
+		return ws.acc[(b-myLo)*ntot : (b-myLo+1)*ntot]
+	}
+	st.touched[b] = true
+	return st.remR[b*ntot : (b+1)*ntot]
+}
+
+// stealContract folds one claimed pair. Pairs within a chunk run serially
+// on the claiming rank (they share target rows); rank-level stealing is
+// the parallel dimension of this schedule.
+func (ws *ExchangeWorkspace) stealContract(i, j, myLo int, st *stealState) {
+	d := ws.g
+	ntot := d.G.NTot
+	phiI := st.allR[i*ntot : (i+1)*ntot]
+	if st.rect {
+		// One-sided fold from the bcast strategy's exact inputs: wire-
+		// precision reference i, full-precision target j.
+		var src []complex128
+		if j >= myLo && j < myLo+ws.nbl {
+			src = ws.psiReal[(j-myLo)*ntot : (j-myLo+1)*ntot]
+		} else {
+			src = st.psiAllR[j*ntot : (j+1)*ntot]
+		}
+		fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, phiI, src, ws.stealDst(j, myLo, st), ws.pairs[:ntot], ws.fft[0])
+		return
+	}
+	// Symmetric fold: one Poisson solve serves both sides of the pair,
+	// the serial operator's contractPair arithmetic.
+	a := complex(-ws.alpha, 0)
+	phiJ := st.allR[j*ntot : (j+1)*ntot]
+	pair := ws.pairs[:ntot]
+	for k := 0; k < ntot; k++ {
+		p := phiI[k]
+		pair[k] = complex(real(p), -imag(p)) * phiJ[k]
+	}
+	d.G.Plan.PoissonSerialWS(pair, ws.kernel, ws.fft[0])
+	accJ := ws.stealDst(j, myLo, st)
+	if i == j {
+		for k := 0; k < ntot; k++ {
+			accJ[k] += a * phiI[k] * pair[k]
+		}
+		return
+	}
+	accI := ws.stealDst(i, myLo, st)
+	for k := 0; k < ntot; k++ {
+		v := pair[k]
+		accJ[k] += a * phiI[k] * v
+		accI[k] += a * phiJ[k] * complex(real(v), -imag(v))
+	}
+}
+
+// exchangeSteal runs the dynamic schedule: pipeline the band broadcasts,
+// claim readiness-ordered pair chunks from the shared counter, contract,
+// then reduce remotely-computed contributions to their owners.
+func (d *Ctx) exchangeSteal(phi, psi []complex128, single bool, chunkReq int, ws *ExchangeWorkspace) {
+	ng, ntot, nb := d.G.NG, d.G.NTot, d.NB
+	rank, size := d.C.Rank(), d.C.Size()
+	myLo, _ := d.BandRange(rank)
+	same := sameBlock(phi, psi)
+	if size > 1 {
+		// The schedule shape must agree across ranks (it decides tags and
+		// pair counts), and each rank can only inspect its local blocks:
+		// vote, and take the triangle only when every rank's blocks match.
+		vote := []int64{0}
+		if same {
+			vote[0] = 1
+		}
+		mpi.AllreduceSum(d.C, tagStealMode, vote)
+		same = vote[0] == int64(size)
+	}
+	rect := single || !same
+	st := ws.ensureSteal(rect)
+	chunk := stealChunkSize(st.npairs, size, chunkReq)
+	nchunks := (st.npairs + chunk - 1) / chunk
+
+	if size == 1 {
+		// Single-rank fast path: no counter, no broadcasts, no reduce,
+		// and no goroutines - the zero-allocation steady state. Only the
+		// wire rounding of the single-precision format remains observable.
+		buf := ws.band[0]
+		for i := 0; i < nb; i++ {
+			copy(buf, phi[i*ng:(i+1)*ng])
+			if single {
+				roundSingle(buf)
+			}
+			d.G.ToRealSerialWS(st.allR[i*ntot:(i+1)*ntot], buf, ws.fftPhi)
+		}
+		t0 := d.C.WorkStart()
+		for t := 0; t < st.npairs; t++ {
+			ws.stealContract(int(st.pairI[t]), int(st.pairJ[t]), myLo, st)
+		}
+		d.C.WorkEnd(t0)
+		return
+	}
+
+	// Broadcast-ahead pipeline: the fetch of band i+1 is posted as soon as
+	// band i lands, re-using the overlapped strategy's ping-pong wire
+	// buffers and handoff channel; ensure(m) drains the pipeline just far
+	// enough for the claimed chunk. Rectangle mode rides a second,
+	// always-double broadcast of the target bands on its own tag block.
+	fetch := func(i int) {
+		go func() {
+			buf := ws.band[i%2]
+			owner := d.bandOwner(i)
+			if owner == rank {
+				copy(buf, phi[(i-myLo)*ng:(i-myLo+1)*ng])
+			}
+			d.bcastBand(buf, owner, tagExchBcast+i, single)
+			if rect {
+				pb := st.psiBand[i%2]
+				if owner == rank {
+					copy(pb, psi[(i-myLo)*ng:(i-myLo+1)*ng])
+				}
+				d.bcastBand(pb, owner, tagExchPsi+i, false)
+			}
+			ws.ch <- buf
+		}()
+	}
+	received := 0
+	ensure := func(m int) {
+		for received <= m {
+			buf := <-ws.ch
+			if received+1 < nb {
+				fetch(received + 1)
+			}
+			d.G.ToRealSerialWS(st.allR[received*ntot:(received+1)*ntot], buf, ws.fftPhi)
+			if rect && d.bandOwner(received) != rank {
+				d.G.ToRealSerialWS(st.psiAllR[received*ntot:(received+1)*ntot], st.psiBand[received%2], ws.fftPhi)
+			}
+			received++
+		}
+	}
+	fetch(0)
+
+	// Claim loop: tickets come from a communicator-unique Fetch_and_op
+	// counter; each rank overshoots nchunks exactly once, so the rank
+	// drawing the last ticket retires the counter.
+	key := d.C.WorkQueueTicket()
+	for {
+		t := int(d.C.FetchAdd(key, 1))
+		if t >= nchunks {
+			if t == nchunks+size-1 {
+				d.C.ForgetCounter(key)
+			}
+			break
+		}
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > st.npairs {
+			hi = st.npairs
+		}
+		// The chunk's last pair has its largest readiness index.
+		m := int(st.pairI[hi-1])
+		if int(st.pairJ[hi-1]) > m {
+			m = int(st.pairJ[hi-1])
+		}
+		ensure(m)
+		t0 := d.C.WorkStart()
+		for p := lo; p < hi; p++ {
+			ws.stealContract(int(st.pairI[p]), int(st.pairJ[p]), myLo, st)
+		}
+		d.C.WorkEnd(t0)
+	}
+	// Every rank participates in every broadcast: drain the pipeline even
+	// if all remaining chunks were stolen by someone else.
+	ensure(nb - 1)
+
+	// Reduce: project the staged remote accumulators onto the sphere and
+	// ship each band's contribution to its owner in one dense Alltoallv
+	// (always double precision). Untouched rows go as zeros - the payload
+	// shape stays deterministic regardless of who claimed what.
+	for b := 0; b < nb; b++ {
+		if d.bandOwner(b) == rank {
+			continue
+		}
+		row := st.remG[b*ng : (b+1)*ng]
+		if st.touched[b] {
+			d.G.FromRealSerialWS(row, st.remR[b*ntot:(b+1)*ntot], ws.fft[0])
+			rem := st.remR[b*ntot : (b+1)*ntot]
+			for k := range rem {
+				rem[k] = 0
+			}
+			st.touched[b] = false
+		} else {
+			for k := range row {
+				row[k] = 0
+			}
+		}
+	}
+	parts := mpi.Alltoallv(d.C, tagStealReduce, st.send)
+	for i := range st.vxAdd {
+		st.vxAdd[i] = 0
+	}
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		blk := parts[r]
+		for i := range blk {
+			st.vxAdd[i] += blk[i]
+		}
+	}
+	st.pending = true
+}

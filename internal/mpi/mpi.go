@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Elem constrains the payload element types the runtime ships.
@@ -39,6 +40,7 @@ const (
 	ClassAllreduce
 	ClassAlltoallv
 	ClassAllgatherv
+	ClassRMA
 	numClasses
 )
 
@@ -58,15 +60,23 @@ func (c OpClass) String() string {
 		return "MPI_Alltoallv"
 	case ClassAllgatherv:
 		return "MPI_AllGatherv"
+	case ClassRMA:
+		return "MPI_Fetch_and_op"
 	default:
 		return "unknown"
 	}
 }
 
-// Stats aggregates communication volume per class across all ranks.
+// Stats aggregates communication volume per class across all ranks, with a
+// per-rank breakdown on both the send and the receive side so conservation
+// laws (every byte shipped is a byte received; a broadcast moves exactly
+// (P-1) payloads; Alltoallv send and receive totals match) can be asserted
+// from the metered numbers instead of trusted.
 type Stats struct {
 	Bytes [numClasses]int64
 	Calls [numClasses]int64
+	sent  [][numClasses]int64 // bytes shipped, indexed by source rank
+	recv  [][numClasses]int64 // bytes received, indexed by destination rank
 }
 
 // TotalBytes sums all classes.
@@ -83,6 +93,16 @@ func (s *Stats) BytesFor(c OpClass) int64 { return s.Bytes[c] }
 
 // CallsFor returns the call count of one class.
 func (s *Stats) CallsFor(c OpClass) int64 { return s.Calls[c] }
+
+// Ranks reports how many ranks the per-rank breakdown covers (0 when the
+// Stats were not produced by Run/RunPerturbed).
+func (s *Stats) Ranks() int { return len(s.sent) }
+
+// SentBy returns the bytes rank `rank` shipped under one class.
+func (s *Stats) SentBy(rank int, c OpClass) int64 { return s.sent[rank][c] }
+
+// RecvBy returns the bytes rank `rank` received under one class.
+func (s *Stats) RecvBy(rank int, c OpClass) int64 { return s.recv[rank][c] }
 
 // pairBox is the mailbox for one (src, dst) rank pair: a tag-indexed FIFO
 // store guarded by a condition variable, safe for concurrent senders and
@@ -128,6 +148,20 @@ type world struct {
 	boxes [][]*pairBox // boxes[src][dst]
 	bytes [numClasses]atomic.Int64
 	calls [numClasses]atomic.Int64
+	sent  [][numClasses]atomic.Int64 // per source rank
+	recv  [][numClasses]atomic.Int64 // per destination rank
+
+	// RMA counter windows for FetchAdd, keyed by the caller-chosen window
+	// id (int64 -> *atomic.Int64). Counters spring into existence at zero
+	// on first touch and live until ForgetCounter or the end of the run.
+	counters sync.Map
+	// queueTick is each rank's private count of WorkQueueTicket calls.
+	// Distinct ranks write distinct slots, so no synchronization is needed.
+	queueTick []int64
+
+	// perturb, when non-nil, injects per-rank compute slowdowns and wire
+	// latency (straggler simulation); see RunPerturbed.
+	perturb *Perturb
 
 	barrierMu  sync.Mutex
 	barrierN   int
@@ -143,8 +177,9 @@ type world struct {
 // use by multiple goroutines of that rank (distinct tags per concurrent
 // receive stream).
 type Comm struct {
-	rank int
-	w    *world
+	rank  int
+	w     *world
+	scale float64 // compute slowdown factor from the perturbation model
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -155,16 +190,45 @@ func (c *Comm) Size() int { return c.w.size }
 
 // CloneHandle returns an equivalent handle; retained for API compatibility
 // with thread-multiple MPI usage (handles share all state).
-func (c *Comm) CloneHandle() *Comm { return &Comm{rank: c.rank, w: c.w} }
+func (c *Comm) CloneHandle() *Comm { return &Comm{rank: c.rank, w: c.w, scale: c.scale} }
+
+// Perturb is an injectable per-rank latency and slowdown model: simulated
+// stragglers and NIC delay, so load-balance and overlap wins are measurable
+// without hardware. Both fields are optional.
+type Perturb struct {
+	// WireDelay, when non-nil, returns extra transit latency charged to the
+	// sender for each message of the given byte size from src to dst (NIC
+	// or link congestion). Return 0 for unaffected links.
+	WireDelay func(src, dst int, bytes int64) time.Duration
+	// ComputeScale, when non-nil, returns the compute slowdown factor of a
+	// rank: 1 means nominal speed, 2 means the rank computes twice as
+	// slowly (a straggler). Values <= 1 leave the rank unperturbed. The
+	// slowdown applies to code sections bracketed by WorkStart/WorkEnd.
+	ComputeScale func(rank int) float64
+}
 
 // Run executes f on size ranks (one goroutine each) and returns the
 // accumulated communication statistics. It panics if any rank panics,
 // re-raising the first failure.
 func Run(size int, f func(c *Comm)) *Stats {
+	return RunPerturbed(size, nil, f)
+}
+
+// RunPerturbed is Run under a perturbation model: every message send is
+// delayed by p.WireDelay and every WorkStart/WorkEnd section is stretched
+// by p.ComputeScale. A nil p (or nil fields) reproduces Run exactly.
+func RunPerturbed(size int, p *Perturb, f func(c *Comm)) *Stats {
 	if size < 1 {
 		panic("mpi: communicator size must be >= 1")
 	}
 	w := newWorld(size)
+	w.perturb = p
+	scales := make([]float64, size)
+	if p != nil && p.ComputeScale != nil {
+		for r := range scales {
+			scales[r] = p.ComputeScale(r)
+		}
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, size)
 	for r := 0; r < size; r++ {
@@ -176,7 +240,7 @@ func Run(size int, f func(c *Comm)) *Stats {
 					panics[rank] = p
 				}
 			}()
-			f(&Comm{rank: rank, w: w})
+			f(&Comm{rank: rank, w: w, scale: scales[rank]})
 		}(r)
 	}
 	wg.Wait()
@@ -185,12 +249,73 @@ func Run(size int, f func(c *Comm)) *Stats {
 			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
 		}
 	}
-	st := &Stats{}
+	st := &Stats{
+		sent: make([][numClasses]int64, size),
+		recv: make([][numClasses]int64, size),
+	}
 	for i := 0; i < int(numClasses); i++ {
 		st.Bytes[i] = w.bytes[i].Load()
 		st.Calls[i] = w.calls[i].Load()
+		for r := 0; r < size; r++ {
+			st.sent[r][i] = w.sent[r][i].Load()
+			st.recv[r][i] = w.recv[r][i].Load()
+		}
 	}
 	return st
+}
+
+// WorkStart opens a perturbed compute section on this rank: pair it with
+// WorkEnd around the computation whose duration the straggler model should
+// stretch. On an unperturbed rank it is free (no clock read) and WorkEnd is
+// a no-op.
+func (c *Comm) WorkStart() time.Time {
+	if c.scale <= 1 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// WorkEnd closes a perturbed compute section: a rank with ComputeScale s
+// sleeps (s-1) times the section's measured duration, so its effective
+// compute rate is 1/s of nominal.
+func (c *Comm) WorkEnd(t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	time.Sleep(time.Duration(float64(time.Since(t0)) * (c.scale - 1)))
+}
+
+// FetchAdd atomically adds delta to the shared counter `key` and returns
+// the value before the addition - MPI_Fetch_and_op(MPI_SUM) on a runtime-
+// hosted window, the primitive of the HONPAS dynamic parallel distribution
+// (arXiv:2009.03555) that the work-stealing exchange schedule claims pair
+// chunks with. Counters spring into existence at zero on first touch, are
+// shared by all ranks of the communicator, and are metered under ClassRMA
+// (one 8-byte operation per call).
+func (c *Comm) FetchAdd(key, delta int64) int64 {
+	v, ok := c.w.counters.Load(key)
+	if !ok {
+		v, _ = c.w.counters.LoadOrStore(key, new(atomic.Int64))
+	}
+	c.accountTransfer(c.rank, ClassRMA, 8)
+	return v.(*atomic.Int64).Add(delta) - delta
+}
+
+// ForgetCounter releases the RMA counter `key`. Only safe once no rank can
+// touch the key again (the work-queue protocol has each rank overshoot the
+// chunk count exactly once, so the rank drawing the last overshoot ticket
+// knows every other rank is done claiming).
+func (c *Comm) ForgetCounter(key int64) { c.w.counters.Delete(key) }
+
+// WorkQueueTicket returns a communicator-unique RMA counter key for the
+// caller's next dynamic work-queue epoch. Collective: every rank must call
+// it once per epoch, in the same order; each rank counts its own calls, so
+// the N-th call agrees across ranks without communication (collectives are
+// issued in the same order on every rank). Keys are never reused.
+func (c *Comm) WorkQueueTicket() int64 {
+	t := c.w.queueTick[c.rank]
+	c.w.queueTick[c.rank]++
+	return t
 }
 
 func elemSize[T Elem]() int64 {
@@ -207,16 +332,28 @@ func elemSize[T Elem]() int64 {
 	}
 }
 
-func (c *Comm) account(class OpClass, bytes int64) {
+// accountTransfer meters one operation shipping `bytes` from this rank to
+// rank `to`: globally, on the sender side, and on the receiver side (the
+// per-rank ledgers the Stats conservation invariants are checked against).
+func (c *Comm) accountTransfer(to int, class OpClass, bytes int64) {
 	c.w.bytes[class].Add(bytes)
 	c.w.calls[class].Add(1)
+	c.w.sent[c.rank][class].Add(bytes)
+	c.w.recv[to][class].Add(bytes)
 }
 
-// deliver copies data into the destination mailbox with accounting.
+// deliver copies data into the destination mailbox with accounting, and
+// charges the sender any injected wire latency for the (src, dst) link.
 func deliver[T Elem](c *Comm, to, tag int, data []T, class OpClass) {
 	out := make([]T, len(data))
 	copy(out, data)
-	c.account(class, int64(len(data))*elemSize[T]())
+	bytes := int64(len(data)) * elemSize[T]()
+	c.accountTransfer(to, class, bytes)
+	if p := c.w.perturb; p != nil && p.WireDelay != nil {
+		if d := p.WireDelay(c.rank, to, bytes); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	c.w.boxes[c.rank][to].put(tag, out)
 }
 
@@ -351,7 +488,13 @@ func Allgatherv[T Elem](c *Comm, tag int, data []T) [][]T {
 
 // newWorld allocates the shared state for a communicator of the given size.
 func newWorld(size int) *world {
-	w := &world{size: size, splits: map[int64]*world{}}
+	w := &world{
+		size:      size,
+		splits:    map[int64]*world{},
+		sent:      make([][numClasses]atomic.Int64, size),
+		recv:      make([][numClasses]atomic.Int64, size),
+		queueTick: make([]int64, size),
+	}
 	w.barrierCv = sync.NewCond(&w.barrierMu)
 	w.boxes = make([][]*pairBox, size)
 	for s := 0; s < size; s++ {
@@ -427,7 +570,10 @@ func (c *Comm) Split(tag int, color int64, key int) *Comm {
 	c.w.splitMu.Unlock()
 	c.Barrier()
 
-	return &Comm{rank: myRank, w: child}
+	// The compute-slowdown factor follows the rank into the sub-
+	// communicator (a straggler node is slow in every group it joins);
+	// wire delays are keyed by parent-world rank pairs and do not.
+	return &Comm{rank: myRank, w: child, scale: c.scale}
 }
 
 // SubStats snapshots the communication statistics of a sub-communicator

@@ -1,0 +1,191 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStatsConservationInvariants checks the per-rank ledgers against the
+// conservation laws of the metering: every byte shipped under a class is a
+// byte received under that class, the per-rank breakdown sums to the
+// global totals, and the collectives hit their analytic volumes.
+func TestStatsConservationInvariants(t *testing.T) {
+	const n = 25 // payload elements per collective
+	for _, size := range []int{2, 3, 5, 8} {
+		st := Run(size, func(c *Comm) {
+			data := make([]complex128, n)
+			Bcast(c, 0, 5, data)
+			f := make([]float64, n)
+			AllreduceSum(c, 10, f)
+			send := make([][]complex128, size)
+			for d := 0; d < size; d++ {
+				send[d] = make([]complex128, n)
+			}
+			Alltoallv(c, 20, send)
+			Allgatherv(c, 30, data)
+			c.FetchAdd(0, 1)
+			if c.Rank() == 0 {
+				Send(c, 1, 40, data)
+			}
+			if c.Rank() == 1 {
+				Recv[complex128](c, 0, 40)
+			}
+		})
+		if st.Ranks() != size {
+			t.Fatalf("size=%d: per-rank breakdown covers %d ranks", size, st.Ranks())
+		}
+		// Per-class conservation: sent totals == received totals == the
+		// global class counter.
+		for cl := OpClass(0); cl < OpClass(NumClasses); cl++ {
+			var sent, recv int64
+			for r := 0; r < size; r++ {
+				sent += st.SentBy(r, cl)
+				recv += st.RecvBy(r, cl)
+			}
+			if sent != st.BytesFor(cl) || recv != st.BytesFor(cl) {
+				t.Errorf("size=%d %v: sent=%d recv=%d, class total %d", size, cl, sent, recv, st.BytesFor(cl))
+			}
+		}
+		// Analytic volumes: a broadcast ships (P-1) payloads; the
+		// rank-ordered allreduce gathers (P-1) payloads and broadcasts
+		// (P-1) back; the uniform all-to-all ships P(P-1) blocks, as does
+		// the allgather.
+		if want := int64(size-1) * n * 16; st.BytesFor(ClassBcast) != want {
+			t.Errorf("size=%d: Bcast bytes %d, want %d", size, st.BytesFor(ClassBcast), want)
+		}
+		if want := int64(2*(size-1)) * n * 8; st.BytesFor(ClassAllreduce) != want {
+			t.Errorf("size=%d: Allreduce bytes %d, want %d", size, st.BytesFor(ClassAllreduce), want)
+		}
+		if want := int64(size*(size-1)) * n * 16; st.BytesFor(ClassAlltoallv) != want {
+			t.Errorf("size=%d: Alltoallv bytes %d, want %d", size, st.BytesFor(ClassAlltoallv), want)
+		}
+		if want := int64(size*(size-1)) * n * 16; st.BytesFor(ClassAllgatherv) != want {
+			t.Errorf("size=%d: Allgatherv bytes %d, want %d", size, st.BytesFor(ClassAllgatherv), want)
+		}
+		// Uniform payloads: each rank's Alltoallv send total equals its
+		// receive total.
+		for r := 0; r < size; r++ {
+			if st.SentBy(r, ClassAlltoallv) != st.RecvBy(r, ClassAlltoallv) {
+				t.Errorf("size=%d rank %d: Alltoallv sent %d != recv %d", size, r,
+					st.SentBy(r, ClassAlltoallv), st.RecvBy(r, ClassAlltoallv))
+			}
+		}
+		// RMA: one 8-byte fetch-and-op per rank, billed to the caller.
+		if st.BytesFor(ClassRMA) != int64(8*size) || st.CallsFor(ClassRMA) != int64(size) {
+			t.Errorf("size=%d: RMA bytes=%d calls=%d", size, st.BytesFor(ClassRMA), st.CallsFor(ClassRMA))
+		}
+		// The point-to-point message is attributed to its endpoints.
+		if st.SentBy(0, ClassP2P) != n*16 || st.RecvBy(1, ClassP2P) != n*16 {
+			t.Errorf("size=%d: P2P attribution sent0=%d recv1=%d", size, st.SentBy(0, ClassP2P), st.RecvBy(1, ClassP2P))
+		}
+	}
+}
+
+// TestFetchAddSemantics: the counter is shared across ranks, returns the
+// pre-add value, and distributes a contiguous ticket range with no gaps or
+// duplicates.
+func TestFetchAddSemantics(t *testing.T) {
+	const ntickets = 1000
+	size := 6
+	seen := make([]atomic.Int32, ntickets)
+	Run(size, func(c *Comm) {
+		if c.Rank() == 0 {
+			// Pre-add semantics on a private counter.
+			if v := c.FetchAdd(99, 5); v != 0 {
+				t.Errorf("first FetchAdd returned %d, want 0", v)
+			}
+			if v := c.FetchAdd(99, -2); v != 5 {
+				t.Errorf("second FetchAdd returned %d, want 5", v)
+			}
+			c.ForgetCounter(99)
+			if v := c.FetchAdd(99, 0); v != 0 {
+				t.Errorf("forgotten counter restarted at %d, want 0", v)
+			}
+		}
+		for {
+			tkt := c.FetchAdd(7, 1)
+			if tkt >= ntickets {
+				break
+			}
+			seen[tkt].Add(1)
+		}
+	})
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("ticket %d drawn %d times", i, n)
+		}
+	}
+}
+
+// TestWorkQueueTicketAgrees: each rank's N-th ticket is the same key, and
+// keys never repeat.
+func TestWorkQueueTicketAgrees(t *testing.T) {
+	size := 4
+	const epochs = 10
+	keys := make([][]int64, size)
+	Run(size, func(c *Comm) {
+		mine := make([]int64, epochs)
+		for e := 0; e < epochs; e++ {
+			mine[e] = c.WorkQueueTicket()
+		}
+		keys[c.Rank()] = mine
+	})
+	dup := map[int64]bool{}
+	for e := 0; e < epochs; e++ {
+		for r := 1; r < size; r++ {
+			if keys[r][e] != keys[0][e] {
+				t.Fatalf("epoch %d: rank %d ticket %d != rank 0 ticket %d", e, r, keys[r][e], keys[0][e])
+			}
+		}
+		if dup[keys[0][e]] {
+			t.Fatalf("epoch %d reuses key %d", e, keys[0][e])
+		}
+		dup[keys[0][e]] = true
+	}
+}
+
+// TestPerturbModel: WorkStart/WorkEnd stretches perturbed ranks' compute
+// sections and leaves nominal ranks free; WireDelay slows messages without
+// changing what is delivered or billed.
+func TestPerturbModel(t *testing.T) {
+	p := &Perturb{
+		ComputeScale: func(rank int) float64 {
+			if rank == 0 {
+				return 3.0
+			}
+			return 1.0
+		},
+		WireDelay: func(src, dst int, bytes int64) time.Duration { return 100 * time.Microsecond },
+	}
+	var slow, fast int64
+	st := RunPerturbed(2, p, func(c *Comm) {
+		t0 := c.WorkStart()
+		if c.Rank() == 1 && !t0.IsZero() {
+			t.Error("nominal rank got a live work timer")
+		}
+		start := time.Now()
+		time.Sleep(2 * time.Millisecond) // the "compute"
+		c.WorkEnd(t0)
+		el := int64(time.Since(start))
+		if c.Rank() == 0 {
+			atomic.StoreInt64(&slow, el)
+		} else {
+			atomic.StoreInt64(&fast, el)
+		}
+		data := []complex128{complex(float64(c.Rank()), 0)}
+		Bcast(c, 0, 1, data)
+		if data[0] != 0 {
+			t.Errorf("rank %d: perturbed broadcast delivered %v", c.Rank(), data[0])
+		}
+	})
+	// Rank 0 at scale 3 must take roughly 3x the nominal section; allow
+	// generous scheduling slack by only requiring 2x.
+	if slow < 2*fast {
+		t.Errorf("straggler section %v not stretched vs nominal %v", time.Duration(slow), time.Duration(fast))
+	}
+	// The wire delay never inflates the byte accounting.
+	if want := int64(16); st.BytesFor(ClassBcast) != want {
+		t.Errorf("perturbed Bcast bytes %d, want %d", st.BytesFor(ClassBcast), want)
+	}
+}
