@@ -8,6 +8,7 @@
 //	ptdft -ranks 4 -method ptcn -steps 5
 //	ptdft -hybrid -ace -mts 4 -ranks 4 -steps 8   # exchange refreshed every 4th step
 //	ptdft -md -displace 0:0.2,0,0 -ionsteps 20 -iondt 96 -dt 24 -kick 0   # Ehrenfest MD
+//	ptdft -steps 100 -save traj.ckp -ckptevery 10   # durable rolling checkpoints; SIGINT checkpoints and exits
 //
 // Output: one line per step (time, energy, current, excited carriers, SCF
 // count) plus a trace breakdown, and optionally a CSV file for plotting.
@@ -21,8 +22,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ptdft/internal/checkpoint"
@@ -65,6 +68,7 @@ type config struct {
 	single     bool
 	savePath   string
 	loadPath   string
+	ckptEvery  int
 
 	// Ehrenfest ion dynamics.
 	md           bool
@@ -74,7 +78,35 @@ type config struct {
 	displaceAtom int
 	displaceVec  [3]float64
 	hasDisplace  bool
+
+	// Runtime wiring, not flags. stop is closed on SIGINT/SIGTERM (or by a
+	// test); the drivers finish the step in flight, checkpoint, and return.
+	// afterStep is a test hook observing each completed step (rank 0 in
+	// distributed runs). roll/natom are filled by run() when -ckptevery is
+	// active.
+	stop      chan struct{}
+	afterStep func(done int)
+	roll      *checkpoint.Rolling
+	natom     int64
 }
+
+// stopped reports whether a shutdown was requested (signal or test hook).
+func (c *config) stopped() bool {
+	if c.stop == nil {
+		return false
+	}
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// tagStop is the AllreduceSum tag (consumes tagStop and tagStop+1) for the
+// per-step shutdown vote: far above the dist tag namespace (fixed tags end
+// at 131; the exchange windows are 1<<10..1<<12 + band index).
+const tagStop = 9000
 
 func parseFlags() (*config, error) {
 	var c config
@@ -98,6 +130,7 @@ func parseFlags() (*config, error) {
 	flag.BoolVar(&c.single, "singleprec", false, "single-precision MPI payloads (distributed runs)")
 	flag.StringVar(&c.savePath, "save", "", "write a restart checkpoint here after the last step")
 	flag.StringVar(&c.loadPath, "load", "", "resume from a checkpoint instead of the ground state")
+	flag.IntVar(&c.ckptEvery, "ckptevery", 0, "write a durable rolling checkpoint every N steps (ion steps with -md) to the -save path; 0 = final save only")
 	flag.BoolVar(&c.md, "md", false, "Ehrenfest ion dynamics: velocity-Verlet ions coupled to PT-CN electrons (Hellmann-Feynman forces)")
 	flag.IntVar(&c.ionSteps, "ionsteps", 10, "number of ion MD steps (with -md; replaces -steps as the trajectory length)")
 	flag.Float64Var(&c.ionDtAs, "iondt", 96, "ion time step in attoseconds (with -md); must be an integer multiple of -dt")
@@ -176,6 +209,12 @@ func parseFlags() (*config, error) {
 	if c.stealChunk > 0 && c.exchange != dist.Steal {
 		return nil, fmt.Errorf("-stealchunk tunes the work-queue granularity of -exchange steal; it does nothing under -exchange %s", c.strategy)
 	}
+	if c.ckptEvery < 0 {
+		return nil, fmt.Errorf("-ckptevery wants a cadence >= 1 (or 0 for a final save only), got %d", c.ckptEvery)
+	}
+	if c.ckptEvery > 0 && c.savePath == "" {
+		return nil, fmt.Errorf("-ckptevery writes rolling checkpoints to the -save path; add -save")
+	}
 	return &c, nil
 }
 
@@ -211,6 +250,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Graceful shutdown: the first SIGINT/SIGTERM finishes the step in
+	// flight and writes the final checkpoint (when -save is set); a second
+	// signal falls back to the default handler and kills the process.
+	cfg.stop = make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "\ncaught %v: finishing the current step, then checkpointing and exiting\n", s)
+		close(cfg.stop)
+		signal.Stop(sig)
+	}()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -294,6 +345,16 @@ func run(cfg *config) error {
 		fmt.Printf("resumed from %s at t = %.2f as (step %d)\n", cfg.loadPath, units.AUToAttoseconds(st.Time), st.Step)
 	}
 
+	cfg.natom = int64(cell.NumAtoms())
+	if cfg.ckptEvery > 0 {
+		cfg.roll = &checkpoint.Rolling{Base: cfg.savePath}
+		unit := "steps"
+		if cfg.md {
+			unit = "ion steps"
+		}
+		fmt.Printf("durable checkpoints: every %d %s to %s (rolling, last-good link)\n", cfg.ckptEvery, unit, cfg.savePath)
+	}
+
 	dt := units.AttosecondsToAU(cfg.dtAs)
 	var records []stepRecord
 	var psiFinal []complex128
@@ -331,6 +392,15 @@ func run(cfg *config) error {
 		}
 	}
 
+	// The drivers return one record per completed step, so a run stopped
+	// early by a signal checkpoints the steps that actually ran.
+	if cfg.stopped() {
+		total := cfg.steps
+		if cfg.md {
+			total = cfg.ionSteps
+		}
+		fmt.Printf("interrupted: stopped after %d of %d steps; the checkpoint covers the completed steps\n", len(records), total)
+	}
 	if cfg.savePath != "" {
 		// The step counter is cumulative provenance: a resumed segment
 		// saves loaded.Step + its own steps, so a 600-step run split
@@ -338,24 +408,24 @@ func run(cfg *config) error {
 		// Under MTS the cadence phase (and, mid-cycle, the frozen exchange
 		// reference) rides along so the next segment lands on the correct
 		// outer/inner step with the identical frozen operator.
-		elSteps := cfg.steps
+		elSteps := len(records)
 		if cfg.md {
-			elSteps = cfg.ionSteps * cfg.ionSubsteps()
+			elSteps = len(records) * cfg.ionSubsteps()
 		}
-		st := &checkpoint.State{
-			Time: tFinal, Step: checkpoint.ContinuationStep(loaded, elSteps), NBands: nb, NG: g.NG,
-			Natom: int64(cell.NumAtoms()), Ecut: cfg.ecut, Hybrid: cfg.hybrid, Psi: psiFinal,
-			MTSPeriod: int64(cfg.mts), MTSPhase: int64(mts.phase), MTSACE: cfg.useACE && cfg.mts > 0,
-			PhiRef: mts.phiRef,
-		}
+		st := cfg.segmentState(g, nb, tFinal, psiFinal, loaded, elSteps, mts.phase, mts.phiRef)
 		if cfg.md {
-			st.IonSteps = checkpoint.ContinuationIonSteps(loaded, cfg.ionSteps)
+			st.IonSteps = checkpoint.ContinuationIonSteps(loaded, len(records))
 			st.IonPos, st.IonVel, st.IonForce = ions.pos, ions.vel, ions.force
 		}
-		if err := checkpoint.SaveFile(cfg.savePath, st); err != nil {
+		if cfg.roll != nil {
+			err = cfg.roll.Save(st)
+		} else {
+			err = checkpoint.SaveFile(cfg.savePath, st)
+		}
+		if err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint written to %s\n", cfg.savePath)
+		fmt.Printf("checkpoint written to %s (step %d)\n", cfg.savePath, st.Step)
 	}
 	fmt.Println()
 	prof.Report(os.Stdout)
@@ -366,6 +436,17 @@ func run(cfg *config) error {
 		fmt.Printf("wrote %s\n", cfg.csvPath)
 	}
 	return nil
+}
+
+// segmentState assembles the restartable state after elDone completed
+// electronic steps of this segment (MD callers add the ion block).
+func (c *config) segmentState(g *grid.Grid, nb int, t float64, psi []complex128, loaded *checkpoint.State, elDone, phase int, phiRef []complex128) *checkpoint.State {
+	return &checkpoint.State{
+		Time: t, Step: checkpoint.ContinuationStep(loaded, elDone), NBands: nb, NG: g.NG,
+		Natom: c.natom, Ecut: c.ecut, Hybrid: c.hybrid, Psi: psi,
+		MTSPeriod: int64(c.mts), MTSPhase: int64(phase), MTSACE: c.useACE && c.mts > 0,
+		PhiRef: phiRef,
+	}
 }
 
 // mtsSnapshot carries the MTS cadence state out of a propagation for
@@ -420,6 +501,26 @@ func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi
 			scfIters: stats.SCFIterations,
 			wallSec:  wall,
 		})
+		done := i + 1
+		if cfg.afterStep != nil {
+			cfg.afterStep(done)
+		}
+		if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.steps {
+			phase := 0
+			var ref []complex128
+			if pt != nil && cfg.mts > 0 {
+				if phase = pt.MTSPhase(); phase != 0 {
+					ref = wavefunc.Clone(pt.MTSRef())
+				}
+			}
+			st := cfg.segmentState(g, nb, now(), wavefunc.Clone(psi), loaded, done, phase, ref)
+			if err := cfg.roll.Save(st); err != nil {
+				return nil, nil, 0, snap, fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
+			}
+		}
+		if cfg.stopped() {
+			break
+		}
 	}
 	// Report which exchange operator actually propagated the run: a
 	// degenerate reference set downgrades an -ace refresh to the exact
@@ -476,7 +577,8 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 	records := make([]stepRecord, cfg.steps)
 	psiFinal := make([]complex128, nb*g.NG)
 	var tFinal float64
-	var firstErr error
+	var firstErr, saveErr error
+	doneSteps := 0
 	stats := mpi.Run(cfg.ranks, func(c *mpi.Comm) {
 		d, err := dist.NewCtx(c, g, nb, 2)
 		if err != nil {
@@ -524,6 +626,7 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 			eb := s.TotalEnergy(local, s.Time)
 			j := s.Current(local)
 			nexc := s.ExcitedElectrons(psiGS, local)
+			done := i + 1
 			if c.Rank() == 0 {
 				records[i] = stepRecord{
 					timeFs:   s.Time * units.FemtosecondPerAU,
@@ -534,6 +637,44 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 					wallSec:  wall,
 				}
 				prof.Add("propagation step", wall)
+				doneSteps = done
+				if cfg.afterStep != nil {
+					cfg.afterStep(done)
+				}
+			}
+			// Periodic durable checkpoint: the cadence test is on the shared
+			// step counter, so every rank enters the gathers together. A
+			// failed save must not abort mid-collective (the other ranks
+			// would hang); it is recorded and reported after the run.
+			if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.steps {
+				phase := 0
+				if cfg.mts > 0 {
+					phase = s.MTSPhase()
+				}
+				full := d.Gather(local)
+				var ref []complex128
+				if phase != 0 {
+					refFull := d.Gather(s.MTSRef())
+					if c.Rank() == 0 {
+						ref = wavefunc.Clone(refFull)
+					}
+				}
+				if c.Rank() == 0 {
+					st := cfg.segmentState(g, nb, s.Time, wavefunc.Clone(full), loaded, done, phase, ref)
+					if err := cfg.roll.Save(st); err != nil && saveErr == nil {
+						saveErr = fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
+					}
+				}
+			}
+			// Shutdown vote: only rank 0 sees the signal flag; the sum makes
+			// the break rank-symmetric so no collective is left half-entered.
+			stopFlag := []float64{0}
+			if c.Rank() == 0 && cfg.stopped() {
+				stopFlag[0] = 1
+			}
+			mpi.AllreduceSum(c, tagStop, stopFlag)
+			if stopFlag[0] != 0 {
+				break
 			}
 		}
 		full := d.Gather(local)
@@ -560,10 +701,13 @@ func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int,
 	if firstErr != nil {
 		return nil, nil, 0, snap, firstErr
 	}
+	if saveErr != nil {
+		return nil, nil, 0, snap, saveErr
+	}
 	fmt.Printf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB\n",
 		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
 		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
-	return records, psiFinal, tFinal, snap, nil
+	return records[:doneSteps], psiFinal, tFinal, snap, nil
 }
 
 // ionSnapshot carries the Ehrenfest ion state out of a propagation for
@@ -639,6 +783,29 @@ func runSerialMD(cfg *config, cell *lattice.Cell, g *grid.Grid, h *hamiltonian.H
 			scfIters: se.SCF,
 			wallSec:  wall,
 		})
+		done := i + 1
+		if cfg.afterStep != nil {
+			cfg.afterStep(done)
+		}
+		if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.ionSteps {
+			phase := 0
+			var ref []complex128
+			if cfg.mts > 0 {
+				if phase = pt.MTSPhase(); phase != 0 {
+					ref = wavefunc.Clone(pt.MTSRef())
+				}
+			}
+			st := cfg.segmentState(g, nb, pt.Time, wavefunc.Clone(se.Psi), loaded, done*cfg.ionSubsteps(), phase, ref)
+			st.IonSteps = checkpoint.ContinuationIonSteps(loaded, done)
+			is := snapshotIons(v)
+			st.IonPos, st.IonVel, st.IonForce = is.pos, is.vel, is.force
+			if err := cfg.roll.Save(st); err != nil {
+				return nil, nil, 0, snap, ionsnap, fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
+			}
+		}
+		if cfg.stopped() {
+			break
+		}
 	}
 	if cfg.mts > 0 {
 		snap.phase = pt.MTSPhase()
@@ -676,7 +843,8 @@ func runDistributedMD(cfg *config, cell *lattice.Cell, g *grid.Grid, psiGS, psi0
 	records := make([]stepRecord, cfg.ionSteps)
 	psiFinal := make([]complex128, nb*g.NG)
 	var tFinal float64
-	var firstErr error
+	var firstErr, saveErr error
+	doneSteps := 0
 	stats := mpi.Run(cfg.ranks, func(c *mpi.Comm) {
 		fail := func(err error) {
 			if c.Rank() == 0 {
@@ -746,6 +914,7 @@ func runDistributedMD(cfg *config, cell *lattice.Cell, g *grid.Grid, psiGS, psi0
 			}
 			j := s.Current(de.Local)
 			nexc := s.ExcitedElectrons(psiGS, de.Local)
+			done := i + 1
 			if c.Rank() == 0 {
 				records[i] = stepRecord{
 					timeFs:   s.Time * units.FemtosecondPerAU,
@@ -756,6 +925,43 @@ func runDistributedMD(cfg *config, cell *lattice.Cell, g *grid.Grid, psiGS, psi0
 					wallSec:  wall,
 				}
 				prof.Add("ion step", wall)
+				doneSteps = done
+				if cfg.afterStep != nil {
+					cfg.afterStep(done)
+				}
+			}
+			// Periodic durable checkpoint (same collective discipline and
+			// failure handling as runDistributed).
+			if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.ionSteps {
+				phase := 0
+				if cfg.mts > 0 {
+					phase = s.MTSPhase()
+				}
+				full := d.Gather(de.Local)
+				var ref []complex128
+				if phase != 0 {
+					refFull := d.Gather(s.MTSRef())
+					if c.Rank() == 0 {
+						ref = wavefunc.Clone(refFull)
+					}
+				}
+				if c.Rank() == 0 {
+					st := cfg.segmentState(g, nb, s.Time, wavefunc.Clone(full), loaded, done*cfg.ionSubsteps(), phase, ref)
+					st.IonSteps = checkpoint.ContinuationIonSteps(loaded, done)
+					is := snapshotIons(v)
+					st.IonPos, st.IonVel, st.IonForce = is.pos, is.vel, is.force
+					if err := cfg.roll.Save(st); err != nil && saveErr == nil {
+						saveErr = fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
+					}
+				}
+			}
+			stopFlag := []float64{0}
+			if c.Rank() == 0 && cfg.stopped() {
+				stopFlag[0] = 1
+			}
+			mpi.AllreduceSum(c, tagStop, stopFlag)
+			if stopFlag[0] != 0 {
+				break
 			}
 		}
 		full := d.Gather(de.Local)
@@ -781,10 +987,13 @@ func runDistributedMD(cfg *config, cell *lattice.Cell, g *grid.Grid, psiGS, psi0
 	if firstErr != nil {
 		return nil, nil, 0, snap, ionsnap, firstErr
 	}
+	if saveErr != nil {
+		return nil, nil, 0, snap, ionsnap, saveErr
+	}
 	fmt.Printf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB\n",
 		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
 		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
-	return records, psiFinal, tFinal, snap, ionsnap, nil
+	return records[:doneSteps], psiFinal, tFinal, snap, ionsnap, nil
 }
 
 func mb(b int64) float64 { return float64(b) / 1e6 }

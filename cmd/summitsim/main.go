@@ -16,11 +16,14 @@
 // Output is aligned text matching the rows/series the paper reports, for
 // side-by-side comparison in EXPERIMENTS.md.
 //
-// One experiment is measured, not modeled: `-experiment sched` runs the
-// real distributed exchange (internal/dist over the goroutine MPI runtime)
-// under injected per-rank slowdowns and NIC delay, comparing the static
-// schedules against the dynamic work queue. It takes a few seconds and is
-// therefore not part of `-experiment all`.
+// Two experiments are measured, not modeled, and run only when named
+// (they take seconds and are not part of `-experiment all`):
+// `-experiment sched` runs the real distributed exchange (internal/dist
+// over the goroutine MPI runtime) under injected per-rank slowdowns and
+// NIC delay, comparing the static schedules against the dynamic work
+// queue; `-experiment faults` runs a real propagation under the resilient
+// supervisor with injected rank crashes, sweeping crash step x checkpoint
+// cadence to measure recovery overhead.
 package main
 
 import (
@@ -32,7 +35,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to regenerate (table1,table2,fig3,fig6,fig7,fig8,fig9,fig10,power,flops,all; sched measures the real distributed exchange and runs only when named)")
+	experiment := flag.String("experiment", "all", "which experiment to regenerate (table1,table2,fig3,fig6,fig7,fig8,fig9,fig10,power,flops,all; sched and faults measure the real distributed code and run only when named)")
 	natom := flag.Int("natoms", 1536, "silicon system size (atoms)")
 	stragglerFactor := flag.Float64("straggler", 2.0, "compute slowdown of rank 0 in the sched experiment's straggler rows")
 	flag.Parse()
@@ -80,9 +83,13 @@ func main() {
 		flops(m)
 		any = true
 	}
-	// Measured, not modeled: only runs when asked for by name.
+	// Measured, not modeled: only run when asked for by name.
 	if *experiment == "sched" {
 		sched(*stragglerFactor)
+		any = true
+	}
+	if *experiment == "faults" {
+		faults()
 		any = true
 	}
 	if !any {

@@ -11,23 +11,31 @@
 // force of every atom, so an interrupted MD trajectory resumes
 // bit-compatibly (the first half kick after the resume uses the stored
 // force, not a recomputation subject to parallel reduction order).
-// Versions 1 and 2 still load.
+// Version 4 hardens the stream for fault-tolerant operation: the header
+// and each payload section (psi, frozen reference, ions) carry their own
+// CRC64, so corruption is localized to a named field and byte range and a
+// damaged header is rejected before any payload-sized allocation. All
+// older versions still load.
 package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc64"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 )
 
 const (
 	magic   = 0x70746466_74636b70 // "ptdftckp"
-	version = 3
+	version = 4
 )
+
+var crcTab = crc64.MakeTable(crc64.ECMA)
 
 // State is the restartable simulation state.
 type State struct {
@@ -87,7 +95,7 @@ func Save(w io.Writer, s *State) error {
 		return fmt.Errorf("checkpoint: ion section holds %d atoms, system has %d", nion, s.Natom)
 	}
 	bw := bufio.NewWriter(w)
-	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	crc := crc64.New(crcTab)
 	mw := io.MultiWriter(bw, crc)
 	hyb := int64(0)
 	if s.Hybrid {
@@ -109,19 +117,42 @@ func Save(w io.Writer, s *State) error {
 		uint64(s.MTSPeriod), uint64(s.MTSPhase), ace, nref,
 		uint64(nion), uint64(s.IonSteps),
 	}
+	var hdr bytes.Buffer
 	for _, h := range header {
-		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
+		binary.Write(&hdr, binary.LittleEndian, h)
+	}
+	if _, err := mw.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	// Version 4: the header carries its own checksum so a loader rejects a
+	// damaged header before trusting any size word in it.
+	if err := binary.Write(mw, binary.LittleEndian, crc64.Checksum(hdr.Bytes(), crcTab)); err != nil {
+		return err
+	}
+	psiSec := crc64.New(crcTab)
+	if err := writeComplex(io.MultiWriter(mw, psiSec), s.Psi); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, psiSec.Sum64()); err != nil {
+		return err
+	}
+	if nref > 0 {
+		refSec := crc64.New(crcTab)
+		if err := writeComplex(io.MultiWriter(mw, refSec), s.PhiRef); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, refSec.Sum64()); err != nil {
 			return err
 		}
 	}
-	if err := writeComplex(mw, s.Psi); err != nil {
-		return err
-	}
-	if err := writeComplex(mw, s.PhiRef); err != nil {
-		return err
-	}
-	for _, block := range [][][3]float64{s.IonPos, s.IonVel, s.IonForce} {
-		if err := writeVec3(mw, block); err != nil {
+	if nion > 0 {
+		ionSec := crc64.New(crcTab)
+		for _, block := range [][][3]float64{s.IonPos, s.IonVel, s.IonForce} {
+			if err := writeVec3(io.MultiWriter(mw, ionSec), block); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(mw, binary.LittleEndian, ionSec.Sum64()); err != nil {
 			return err
 		}
 	}
@@ -159,13 +190,26 @@ func writeVec3(w io.Writer, xs [][3]float64) error {
 	return nil
 }
 
+// countReader tracks the byte offset of the underlying stream so load
+// errors can name where in the file the damage sits.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // readComplex fills a complex slice from little-endian re/im float64
-// pairs; what reports which block a truncation hit.
-func readComplex(r io.Reader, dst []complex128, what string) error {
+// pairs; what reports which block a truncation hit, cnt the file offset.
+func readComplex(r io.Reader, cnt *countReader, dst []complex128, what string) error {
 	buf := make([]byte, 16)
 	for i := range dst {
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("checkpoint: %s truncated at coefficient %d: %w", what, i, err)
+			return fmt.Errorf("checkpoint: %s truncated at coefficient %d (byte offset %d): %w", what, i, cnt.n, err)
 		}
 		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
 		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
@@ -175,11 +219,11 @@ func readComplex(r io.Reader, dst []complex128, what string) error {
 }
 
 // readVec3 fills per-atom 3-vectors from little-endian float64 triplets.
-func readVec3(r io.Reader, dst [][3]float64, what string) error {
+func readVec3(r io.Reader, cnt *countReader, dst [][3]float64, what string) error {
 	buf := make([]byte, 24)
 	for i := range dst {
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("checkpoint: %s truncated at atom %d: %w", what, i, err)
+			return fmt.Errorf("checkpoint: %s truncated at atom %d (byte offset %d): %w", what, i, cnt.n, err)
 		}
 		dst[i][0] = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
 		dst[i][1] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
@@ -188,17 +232,32 @@ func readVec3(r io.Reader, dst [][3]float64, what string) error {
 	return nil
 }
 
-// Load reads a state from r, verifying the checksum. All format versions
-// load: version 1 carries no MTS section, versions 1 and 2 no ion section.
+// Load reads a state from r, verifying the checksums. All format versions
+// load: version 1 carries no MTS section, versions 1 and 2 no ion
+// section, versions before 4 only the whole-file checksum. Damage -
+// truncation or flipped bits anywhere in the stream - is reported as a
+// descriptive error naming the field and byte offset, never a panic or a
+// silently corrupt state.
 func Load(r io.Reader) (*State, error) {
-	br := bufio.NewReader(r)
-	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
-	tr := io.TeeReader(br, crc)
-	header := make([]uint64, 9)
-	for i := range header {
-		if err := binary.Read(tr, binary.LittleEndian, &header[i]); err != nil {
-			return nil, fmt.Errorf("checkpoint: short header: %w", err)
+	cnt := &countReader{r: bufio.NewReader(r)}
+	crc := crc64.New(crcTab)
+	tr := io.TeeReader(cnt, crc)
+	var hdrBytes []byte
+	readWords := func(n int, what string) ([]uint64, error) {
+		out := make([]uint64, n)
+		buf := make([]byte, 8)
+		for i := range out {
+			if _, err := io.ReadFull(tr, buf); err != nil {
+				return nil, fmt.Errorf("checkpoint: %s truncated at byte %d: %w", what, cnt.n, err)
+			}
+			hdrBytes = append(hdrBytes, buf...)
+			out[i] = binary.LittleEndian.Uint64(buf)
 		}
+		return out, nil
+	}
+	header, err := readWords(9, "header")
+	if err != nil {
+		return nil, err
 	}
 	if header[0] != magic {
 		return nil, fmt.Errorf("checkpoint: bad magic %#x", header[0])
@@ -218,11 +277,9 @@ func Load(r io.Reader) (*State, error) {
 	}
 	nref := uint64(0)
 	if ver >= 2 {
-		ext := make([]uint64, 4)
-		for i := range ext {
-			if err := binary.Read(tr, binary.LittleEndian, &ext[i]); err != nil {
-				return nil, fmt.Errorf("checkpoint: short MTS header: %w", err)
-			}
+		ext, err := readWords(4, "MTS header")
+		if err != nil {
+			return nil, err
 		}
 		s.MTSPeriod = int64(ext[0])
 		s.MTSPhase = int64(ext[1])
@@ -231,14 +288,45 @@ func Load(r io.Reader) (*State, error) {
 	}
 	nion := uint64(0)
 	if ver >= 3 {
-		ext := make([]uint64, 2)
-		for i := range ext {
-			if err := binary.Read(tr, binary.LittleEndian, &ext[i]); err != nil {
-				return nil, fmt.Errorf("checkpoint: short ion header: %w", err)
-			}
+		ext, err := readWords(2, "ion header")
+		if err != nil {
+			return nil, err
 		}
 		nion = ext[0]
 		s.IonSteps = int64(ext[1])
+	}
+	if ver >= 4 {
+		// The header checksum is verified before any size word below is
+		// trusted for an allocation.
+		var stored uint64
+		if err := binary.Read(tr, binary.LittleEndian, &stored); err != nil {
+			return nil, fmt.Errorf("checkpoint: header checksum truncated at byte %d: %w", cnt.n, err)
+		}
+		if got := crc64.Checksum(hdrBytes, crcTab); got != stored {
+			return nil, fmt.Errorf("checkpoint: header corrupt (checksum mismatch over bytes 0..%d)", len(hdrBytes)-1)
+		}
+	}
+	// verifySection brackets one payload section with its own checksum
+	// word (version 4), so damage is attributed to the section by name
+	// and byte range instead of a file-level mismatch after the fact.
+	verifySection := func(what string, read func(io.Reader) error) error {
+		if ver < 4 {
+			return read(tr)
+		}
+		start := cnt.n
+		sec := crc64.New(crcTab)
+		if err := read(io.TeeReader(tr, sec)); err != nil {
+			return err
+		}
+		end := cnt.n
+		var stored uint64
+		if err := binary.Read(tr, binary.LittleEndian, &stored); err != nil {
+			return fmt.Errorf("checkpoint: %s checksum truncated at byte %d: %w", what, cnt.n, err)
+		}
+		if sec.Sum64() != stored {
+			return fmt.Errorf("checkpoint: %s section corrupt (checksum mismatch over bytes %d..%d)", what, start, end-1)
+		}
+		return nil
 	}
 	n := s.NBands * s.NG
 	if n < 0 || n > 1<<34 {
@@ -256,12 +344,16 @@ func Load(r io.Reader) (*State, error) {
 		return nil, fmt.Errorf("checkpoint: ion section holds %d atoms, want 0 or %d", nion, s.Natom)
 	}
 	s.Psi = make([]complex128, n)
-	if err := readComplex(tr, s.Psi, "psi"); err != nil {
+	if err := verifySection("psi", func(r io.Reader) error {
+		return readComplex(r, cnt, s.Psi, "psi")
+	}); err != nil {
 		return nil, err
 	}
 	if nref > 0 {
 		s.PhiRef = make([]complex128, n)
-		if err := readComplex(tr, s.PhiRef, "frozen reference"); err != nil {
+		if err := verifySection("frozen reference", func(r io.Reader) error {
+			return readComplex(r, cnt, s.PhiRef, "frozen reference")
+		}); err != nil {
 			return nil, err
 		}
 	}
@@ -269,19 +361,24 @@ func Load(r io.Reader) (*State, error) {
 		s.IonPos = make([][3]float64, nion)
 		s.IonVel = make([][3]float64, nion)
 		s.IonForce = make([][3]float64, nion)
-		for _, block := range []struct {
-			dst  [][3]float64
-			what string
-		}{{s.IonPos, "ion positions"}, {s.IonVel, "ion velocities"}, {s.IonForce, "ion forces"}} {
-			if err := readVec3(tr, block.dst, block.what); err != nil {
-				return nil, err
+		if err := verifySection("ion", func(r io.Reader) error {
+			for _, block := range []struct {
+				dst  [][3]float64
+				what string
+			}{{s.IonPos, "ion positions"}, {s.IonVel, "ion velocities"}, {s.IonForce, "ion forces"}} {
+				if err := readVec3(r, cnt, block.dst, block.what); err != nil {
+					return err
+				}
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	want := crc.Sum64()
 	var got uint64
-	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
-		return nil, fmt.Errorf("checkpoint: missing checksum: %w", err)
+	if err := binary.Read(cnt, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("checkpoint: missing checksum (file truncated at byte %d): %w", cnt.n, err)
 	}
 	if got != want {
 		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %#x, computed %#x)", got, want)
@@ -289,23 +386,53 @@ func Load(r io.Reader) (*State, error) {
 	return s, nil
 }
 
-// SaveFile writes the state to path atomically (temp file + rename).
+// SaveFile writes the state to path atomically AND durably: the payload
+// goes to a uniquely named temp file in the same directory (O_EXCL, so
+// concurrent writers never clobber each other), is fsynced before the
+// rename (so the rename can never install a file whose bytes are still in
+// the page cache when power is lost), and the directory is fsynced after
+// (so the new name itself survives a crash). The temp file is removed on
+// every error path.
 func SaveFile(path string, s *State) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := Save(f, s); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := Save(f, s); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Filesystems that refuse directory fsync (some network mounts) degrade
+// to rename-only atomicity rather than failing the save.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
 }
 
 // LoadFile reads a state from path.

@@ -1,0 +1,114 @@
+package checkpoint
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRollingSaveLatestAndPrune: successive saves advance the last-good
+// link, Latest follows it, and pruning retains exactly Keep step files.
+func TestRollingSaveLatestAndPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	base := filepath.Join(t.TempDir(), "traj.ckp")
+	rl := &Rolling{Base: base, Keep: 2}
+	for _, step := range []int64{2, 4, 6} {
+		s := sampleState(rng)
+		s.Step = step
+		if err := rl.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, path, err := rl.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 6 {
+		t.Fatalf("Latest returned step %d, want 6", got.Step)
+	}
+	if filepath.Base(path) != "traj.ckp.step0000000006" {
+		t.Errorf("Latest path %q does not name the newest step file", path)
+	}
+	files := rl.stepFiles()
+	if len(files) != 2 {
+		t.Fatalf("prune kept %d files %v, want 2", len(files), files)
+	}
+	if _, err := os.Stat(rl.stepPath(2)); !os.IsNotExist(err) {
+		t.Error("oldest step file not pruned")
+	}
+	// The stable name also loads directly (it is a symlink to the newest).
+	if s, err := LoadFile(base); err != nil || s.Step != 6 {
+		t.Errorf("stable name load: step %v err %v", s, err)
+	}
+}
+
+// TestRollingSurvivesTornNewest: when the newest checkpoint is damaged
+// (the torn-write case the symlink scheme exists for), Latest falls back
+// to the previous good file instead of failing.
+func TestRollingSurvivesTornNewest(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	base := filepath.Join(t.TempDir(), "traj.ckp")
+	rl := &Rolling{Base: base, Keep: 3}
+	for _, step := range []int64{5, 10} {
+		s := sampleState(rng)
+		s.Step = step
+		if err := rl.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest step file in place.
+	newest := rl.stepPath(10)
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, path, err := rl.Latest()
+	if err != nil {
+		t.Fatalf("Latest failed despite a good older checkpoint: %v", err)
+	}
+	if got.Step != 5 {
+		t.Fatalf("Latest returned step %d, want fallback to 5", got.Step)
+	}
+	if path != rl.stepPath(5) {
+		t.Errorf("Latest path %q, want %q", path, rl.stepPath(5))
+	}
+}
+
+// TestRollingEmptySequence: an empty sequence reports os.ErrNotExist so
+// callers can distinguish "no checkpoint yet" from damage.
+func TestRollingEmptySequence(t *testing.T) {
+	rl := &Rolling{Base: filepath.Join(t.TempDir(), "traj.ckp")}
+	_, _, err := rl.Latest()
+	if err == nil {
+		t.Fatal("Latest on empty sequence succeeded")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("error %v does not wrap os.ErrNotExist", err)
+	}
+}
+
+// TestRollingAdoptsPlainFile: a plain checkpoint at the base path (from
+// a pre-rolling run) is picked up by Latest.
+func TestRollingAdoptsPlainFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := filepath.Join(t.TempDir(), "traj.ckp")
+	s := sampleState(rng)
+	s.Step = 33
+	if err := SaveFile(base, s); err != nil {
+		t.Fatal(err)
+	}
+	rl := &Rolling{Base: base}
+	got, path, err := rl.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 33 || path != base {
+		t.Errorf("plain-file adoption: step %d path %q", got.Step, path)
+	}
+}

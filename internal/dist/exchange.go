@@ -148,6 +148,7 @@ type ExchangeWorkspace struct {
 	fft     []*fourier.Workspace3 // nw: per-worker FFT line scratch
 	fftPhi  *fourier.Workspace3
 	ch      chan []complex128 // overlapped-fetch handoff, capacity 1
+	fault   any               // fault panic forwarded off a fetch goroutine
 
 	// Per-application fold state, bound by FockExchangeWS so the strategy
 	// loops call ws.process as a plain method instead of through a freshly
@@ -181,6 +182,35 @@ func (d *Ctx) NewExchangeWorkspace() *ExchangeWorkspace {
 	ws.band[1] = make([]complex128, ng)
 	ws.ensureWorkers(parallel.NumWorkers(nbl))
 	return ws
+}
+
+// forwardFault is deferred on every fetch-pipeline goroutine: an
+// injected-fault panic there (a scheduled crash or a lost peer, raised
+// inside the mpi layer) must not kill the process - only the rank's main
+// goroutine is recovered by the tolerant runner. The fault is stashed and
+// the handoff channel closed, so the main goroutine's next receive
+// re-raises it on the recoverable goroutine. Non-fault panics are bugs
+// and propagate. The workspace is dead after a forwarded fault; resilient
+// drivers rebuild their contexts per attempt.
+func (ws *ExchangeWorkspace) forwardFault() {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if !mpi.IsFault(p) {
+		panic(p)
+	}
+	ws.fault = p
+	close(ws.ch)
+}
+
+// refault re-raises a fault forwarded off a fetch goroutine (the closed-
+// channel receive path).
+func (ws *ExchangeWorkspace) refault() {
+	if ws.fault != nil {
+		panic(ws.fault)
+	}
+	panic("dist: fetch pipeline closed without a recorded fault")
 }
 
 // ensureWorkers grows the per-worker Poisson buffers and FFT workspaces to
@@ -342,6 +372,7 @@ func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, ws *Exchang
 	myLo, _ := d.BandRange(d.C.Rank())
 	fetch := func(i int) {
 		go func() {
+			defer ws.forwardFault()
 			buf := ws.band[i%2]
 			owner := d.bandOwner(i)
 			if owner == d.C.Rank() {
@@ -353,7 +384,10 @@ func (d *Ctx) exchangeBcastOverlapped(phi []complex128, single bool, ws *Exchang
 	}
 	fetch(0)
 	for i := 0; i < d.NB; i++ {
-		band := <-ws.ch
+		band, ok := <-ws.ch
+		if !ok {
+			ws.refault()
+		}
 		if i+1 < d.NB {
 			fetch(i + 1)
 		}

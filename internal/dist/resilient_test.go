@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ptdft/internal/checkpoint"
+	"ptdft/internal/core"
+	"ptdft/internal/fock"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/laser"
+	"ptdft/internal/mpi"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+// referenceRun propagates steps semi-local PT-CN steps on `ranks` ranks
+// without any supervisor and returns the gathered final bands and energy.
+func referenceRun(t *testing.T, psi0 []complex128, ranks, steps int, dt float64) ([]complex128, float64) {
+	t.Helper()
+	g, _, nb := testGrid(t)
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	psi := make([]complex128, nb*g.NG)
+	var energy float64
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		d, err := NewCtx(c, g, nb, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+		s := NewPTCNSolver(d, h, xc.HSE06(), false, kick, core.DefaultPTCN(), ExchangeOptions{})
+		lo, hi := d.BandRange(c.Rank())
+		local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
+		for i := 0; i < steps; i++ {
+			if local, _, err = s.Step(local, dt); err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+		}
+		eb := s.TotalEnergy(local, s.Time)
+		full := d.Gather(local)
+		if c.Rank() == 0 {
+			copy(psi, full)
+			energy = eb.Total()
+		}
+	})
+	return psi, energy
+}
+
+// resilientConfig assembles the shared semi-local test configuration.
+func resilientConfig(t *testing.T, psi0 []complex128, ranks, steps int, dt float64, ckptBase string, every int) ResilientConfig {
+	t.Helper()
+	g, _, nb := testGrid(t)
+	cfg := ResilientConfig{
+		Ranks: ranks, G: g, NB: nb,
+		NewHamiltonian: func() *hamiltonian.Hamiltonian {
+			return hamiltonian.New(g, siPots(), hamiltonian.Config{})
+		},
+		Hyb: xc.HSE06(), Hybrid: false,
+		Field: &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}},
+		Opt:   core.DefaultPTCN(),
+		Psi0:  psi0, Steps: steps, Dt: dt,
+		Natom: 8, Ecut: 2,
+		MaxRestarts: 3,
+		Deadline:    2 * time.Second,
+	}
+	if ckptBase != "" {
+		cfg.Ckpt = &checkpoint.Rolling{Base: ckptBase}
+		cfg.CkptEvery = every
+	}
+	return cfg
+}
+
+// TestResilientCleanRunMatchesPlain: with no faults the supervisor is a
+// transparent wrapper - the trajectory matches an unsupervised run
+// exactly and no restarts are recorded.
+func TestResilientCleanRunMatchesPlain(t *testing.T) {
+	_, psi0, _ := testGrid(t)
+	const ranks, steps, dt = 2, 4, 1.0
+	want, wantE := referenceRun(t, psi0, ranks, steps, dt)
+	cfg := resilientConfig(t, psi0, ranks, steps, dt, filepath.Join(t.TempDir(), "ck"), 2)
+	res, err := RunResilient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 0 || res.LostSteps != 0 {
+		t.Errorf("clean run recorded restarts=%d lost=%d", res.Restarts, res.LostSteps)
+	}
+	if res.Step != steps {
+		t.Errorf("final step %d, want %d", res.Step, steps)
+	}
+	if diff := wavefunc.MaxDiff(res.Psi, want); diff > 1e-12 {
+		t.Errorf("supervised trajectory differs from plain by %g", diff)
+	}
+	if e := res.Energy - wantE; e > 1e-12 || e < -1e-12 {
+		t.Errorf("energy differs by %g", e)
+	}
+	// The final state is always checkpointed.
+	if st, _, err := cfg.Ckpt.Latest(); err != nil || st.Step != steps {
+		t.Errorf("final checkpoint missing or stale: %+v, %v", st, err)
+	}
+}
+
+// TestResilientRecoversFromStepCrash: a rank killed at a step boundary on
+// the first attempt is recovered from the rolling checkpoint and the
+// completed trajectory matches the uninterrupted one to 1e-10.
+func TestResilientRecoversFromStepCrash(t *testing.T) {
+	_, psi0, _ := testGrid(t)
+	const ranks, steps, dt = 4, 6, 1.0
+	want, wantE := referenceRun(t, psi0, ranks, steps, dt)
+	cfg := resilientConfig(t, psi0, ranks, steps, dt, filepath.Join(t.TempDir(), "ck"), 2)
+	cfg.FaultFor = func(attempt int) *mpi.Fault {
+		if attempt > 0 {
+			return nil
+		}
+		return &mpi.Fault{Crashes: []mpi.CrashRankAt{{Rank: 2, AfterStep: 3}}}
+	}
+	res, err := RunResilient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", res.Restarts)
+	}
+	if res.LostSteps != 1 {
+		// Crash arrives before step 3; steps 0-2 completed, the cadence-2
+		// checkpoint holds step 2, so exactly one step is re-run.
+		t.Errorf("lost steps = %d, want 1", res.LostSteps)
+	}
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "rank 2 crashed") {
+		t.Errorf("failures = %v, want one naming rank 2", res.Failures)
+	}
+	if diff := wavefunc.MaxDiff(res.Psi, want); diff > 1e-10 {
+		t.Errorf("recovered trajectory differs from uninterrupted by %g", diff)
+	}
+	if e := res.Energy - wantE; e > 1e-10 || e < -1e-10 {
+		t.Errorf("recovered energy differs by %g", e)
+	}
+}
+
+// TestResilientRecoversFromMidCollectiveCrash: a rank killed mid
+// collective (call-count trigger, not step-aligned) leaves peers inside
+// Allreduce/Alltoallv waits; the deadline unblocks them and recovery
+// still completes and matches.
+func TestResilientRecoversFromMidCollectiveCrash(t *testing.T) {
+	_, psi0, _ := testGrid(t)
+	const ranks, steps, dt = 4, 4, 1.0
+	want, _ := referenceRun(t, psi0, ranks, steps, dt)
+	cfg := resilientConfig(t, psi0, ranks, steps, dt, filepath.Join(t.TempDir(), "ck"), 1)
+	cfg.Deadline = 1 * time.Second
+	cfg.FaultFor = func(attempt int) *mpi.Fault {
+		if attempt > 0 {
+			return nil
+		}
+		return &mpi.Fault{Crashes: []mpi.CrashRankAt{{Rank: 1, AfterCalls: 200}}}
+	}
+	start := time.Now()
+	res, err := RunResilient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("recovery took %v - a peer hung past the deadline", elapsed)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", res.Restarts)
+	}
+	if diff := wavefunc.MaxDiff(res.Psi, want); diff > 1e-10 {
+		t.Errorf("recovered trajectory differs from uninterrupted by %g", diff)
+	}
+}
+
+// TestResilientRetryBudget: a fault injected on every attempt exhausts
+// the budget and surfaces the last failure instead of looping forever.
+func TestResilientRetryBudget(t *testing.T) {
+	_, psi0, _ := testGrid(t)
+	cfg := resilientConfig(t, psi0, 2, 4, 1.0, filepath.Join(t.TempDir(), "ck"), 2)
+	cfg.MaxRestarts = 2
+	cfg.Deadline = 500 * time.Millisecond
+	cfg.FaultFor = func(attempt int) *mpi.Fault {
+		return &mpi.Fault{Crashes: []mpi.CrashRankAt{{Rank: 0, AfterStep: 1}}}
+	}
+	_, err := RunResilient(cfg)
+	if err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+	if !strings.Contains(err.Error(), "giving up after 2 restarts") {
+		t.Errorf("error %q does not report the exhausted budget", err)
+	}
+}
+
+// TestResilientRejectsMidCycleStart: the supervisor refuses a starting
+// step inside an MTS cycle - recovery state would be unreconstructable.
+func TestResilientRejectsMidCycleStart(t *testing.T) {
+	_, psi0, _ := testGrid(t)
+	cfg := resilientConfig(t, psi0, 2, 2, 1.0, "", 0)
+	cfg.Ex = ExchangeOptions{MTSPeriod: 2}
+	cfg.Step0 = 1
+	if _, err := RunResilient(cfg); err == nil || !strings.Contains(err.Error(), "cycle boundary") {
+		t.Errorf("mid-cycle start not rejected: %v", err)
+	}
+}
+
+// TestFetchPipelineForwardsFaults: a crash landing inside the
+// overlapped-broadcast or steal fetch goroutine (which runs mpi calls off
+// the rank's main goroutine) must be forwarded to the main goroutine and
+// recovered by the tolerant runner - not kill the process, not hang.
+func TestFetchPipelineForwardsFaults(t *testing.T) {
+	g, psi, nb := testGrid(t)
+	hyb := xc.HSE06()
+	kernel := fock.BuildKernel(g, hyb)
+	for _, strat := range []ExchangeStrategy{BcastOverlapped, Steal} {
+		p := &mpi.Perturb{
+			Deadline: 1 * time.Second,
+			Fault:    &mpi.Fault{Crashes: []mpi.CrashRankAt{{Rank: 1, AfterCalls: 3}}},
+		}
+		start := time.Now()
+		_, fail := mpi.RunTolerant(4, p, func(c *mpi.Comm) {
+			d, err := NewCtx(c, g, nb, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lo, hi := d.BandRange(c.Rank())
+			local := wavefunc.Clone(psi[lo*g.NG : hi*g.NG])
+			d.FockExchange(local, local, kernel, hyb.Alpha, ExchangeOptions{Strategy: strat})
+		})
+		if elapsed := time.Since(start); elapsed > 20*time.Second {
+			t.Fatalf("%v: exchange under injected crash took %v", strat, elapsed)
+		}
+		if fail == nil {
+			t.Fatalf("%v: injected crash vanished", strat)
+		}
+		found := false
+		for _, r := range fail.Crashed {
+			if r == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: crashed ranks %v do not include rank 1", strat, fail.Crashed)
+		}
+	}
+}

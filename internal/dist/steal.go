@@ -278,6 +278,7 @@ func (d *Ctx) exchangeSteal(phi, psi []complex128, single bool, chunkReq int, ws
 	// always-double broadcast of the target bands on its own tag block.
 	fetch := func(i int) {
 		go func() {
+			defer ws.forwardFault()
 			buf := ws.band[i%2]
 			owner := d.bandOwner(i)
 			if owner == rank {
@@ -297,7 +298,10 @@ func (d *Ctx) exchangeSteal(phi, psi []complex128, single bool, chunkReq int, ws
 	received := 0
 	ensure := func(m int) {
 		for received <= m {
-			buf := <-ws.ch
+			buf, ok := <-ws.ch
+			if !ok {
+				ws.refault()
+			}
 			if received+1 < nb {
 				fetch(received + 1)
 			}

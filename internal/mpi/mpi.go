@@ -20,6 +20,7 @@ package mpi
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,10 +127,35 @@ func (b *pairBox) put(tag int, data any) {
 	b.mu.Unlock()
 }
 
-func (b *pairBox) take(tag int) any {
+// take pops the next message for tag, blocking until one arrives. With a
+// positive deadline it gives up after that long and returns ok=false (the
+// peer-loss detection path); with deadline 0 it waits forever.
+func (b *pairBox) take(tag int, deadline time.Duration) (any, bool) {
 	b.mu.Lock()
-	for len(b.msgs[tag]) == 0 {
-		b.cv.Wait()
+	if deadline <= 0 {
+		for len(b.msgs[tag]) == 0 {
+			b.cv.Wait()
+		}
+	} else {
+		limit := time.Now().Add(deadline)
+		for len(b.msgs[tag]) == 0 {
+			remaining := time.Until(limit)
+			if remaining <= 0 {
+				b.mu.Unlock()
+				return nil, false
+			}
+			// One timer per wait round guarantees a wake-up at the
+			// deadline even if no message ever lands; the extra
+			// millisecond absorbs clock granularity so the re-check
+			// above is conclusive.
+			t := time.AfterFunc(remaining+time.Millisecond, func() {
+				b.mu.Lock()
+				b.cv.Broadcast()
+				b.mu.Unlock()
+			})
+			b.cv.Wait()
+			t.Stop()
+		}
 	}
 	q := b.msgs[tag]
 	data := q[0]
@@ -139,7 +165,7 @@ func (b *pairBox) take(tag int) any {
 		b.msgs[tag] = q[1:]
 	}
 	b.mu.Unlock()
-	return data
+	return data, true
 }
 
 // world is the shared state of one communicator group.
@@ -162,6 +188,17 @@ type world struct {
 	// perturb, when non-nil, injects per-rank compute slowdowns and wire
 	// latency (straggler simulation); see RunPerturbed.
 	perturb *Perturb
+
+	// Hard-fault state (see fault.go): the injection plan, the peer-loss
+	// detection deadline (0 = wait forever), per-rank metered-operation
+	// counters for AfterCalls crashes, the crash ledger, and the shared
+	// message-drop stream.
+	fault    *Fault
+	deadline time.Duration
+	opCalls  []atomic.Int64
+	failed   []atomic.Pointer[RankFailure]
+	dropMu   sync.Mutex
+	dropRng  *rand.Rand
 
 	barrierMu  sync.Mutex
 	barrierN   int
@@ -205,6 +242,16 @@ type Perturb struct {
 	// slowly (a straggler). Values <= 1 leave the rank unperturbed. The
 	// slowdown applies to code sections bracketed by WorkStart/WorkEnd.
 	ComputeScale func(rank int) float64
+	// Fault, when non-nil, arms hard-failure injection: scheduled rank
+	// crashes and probabilistic message drops (see fault.go). Use
+	// RunTolerant to observe the failures instead of panicking.
+	Fault *Fault
+	// Deadline bounds every blocking receive and barrier wait: a rank
+	// that waits longer presumes its peer dead and panics with a
+	// PeerLostError. 0 means wait forever - unless Fault is armed, in
+	// which case DefaultDeadline is substituted so survivors of a crash
+	// always unblock.
+	Deadline time.Duration
 }
 
 // Run executes f on size ranks (one goroutine each) and returns the
@@ -217,49 +264,13 @@ func Run(size int, f func(c *Comm)) *Stats {
 // RunPerturbed is Run under a perturbation model: every message send is
 // delayed by p.WireDelay and every WorkStart/WorkEnd section is stretched
 // by p.ComputeScale. A nil p (or nil fields) reproduces Run exactly.
+// Injected hard faults (p.Fault, or a tripped p.Deadline) end the run
+// with a panic naming every dead rank; use RunTolerant to observe them as
+// a value instead.
 func RunPerturbed(size int, p *Perturb, f func(c *Comm)) *Stats {
-	if size < 1 {
-		panic("mpi: communicator size must be >= 1")
-	}
-	w := newWorld(size)
-	w.perturb = p
-	scales := make([]float64, size)
-	if p != nil && p.ComputeScale != nil {
-		for r := range scales {
-			scales[r] = p.ComputeScale(r)
-		}
-	}
-	var wg sync.WaitGroup
-	panics := make([]any, size)
-	for r := 0; r < size; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[rank] = p
-				}
-			}()
-			f(&Comm{rank: rank, w: w, scale: scales[rank]})
-		}(r)
-	}
-	wg.Wait()
-	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
-		}
-	}
-	st := &Stats{
-		sent: make([][numClasses]int64, size),
-		recv: make([][numClasses]int64, size),
-	}
-	for i := 0; i < int(numClasses); i++ {
-		st.Bytes[i] = w.bytes[i].Load()
-		st.Calls[i] = w.calls[i].Load()
-		for r := 0; r < size; r++ {
-			st.sent[r][i] = w.sent[r][i].Load()
-			st.recv[r][i] = w.recv[r][i].Load()
-		}
+	st, fail := RunTolerant(size, p, f)
+	if fail != nil {
+		panic("mpi: run failed: " + fail.Error())
 	}
 	return st
 }
@@ -335,7 +346,10 @@ func elemSize[T Elem]() int64 {
 // accountTransfer meters one operation shipping `bytes` from this rank to
 // rank `to`: globally, on the sender side, and on the receiver side (the
 // per-rank ledgers the Stats conservation invariants are checked against).
+// It is the single funnel every metered operation passes through, so it
+// is also where AfterCalls crashes fire - before the payload moves.
 func (c *Comm) accountTransfer(to int, class OpClass, bytes int64) {
+	c.maybeCrashOnCall()
 	c.w.bytes[class].Add(bytes)
 	c.w.calls[class].Add(1)
 	c.w.sent[c.rank][class].Add(bytes)
@@ -344,10 +358,20 @@ func (c *Comm) accountTransfer(to int, class OpClass, bytes int64) {
 
 // deliver copies data into the destination mailbox with accounting, and
 // charges the sender any injected wire latency for the (src, dst) link.
+// Under an armed drop model the message may be lost in transit: the
+// sender is billed for the ship attempt, the receiver never sees it and
+// eventually trips its deadline.
 func deliver[T Elem](c *Comm, to, tag int, data []T, class OpClass) {
+	bytes := int64(len(data)) * elemSize[T]()
+	if c.w.dropMessage() {
+		c.maybeCrashOnCall()
+		c.w.bytes[class].Add(bytes)
+		c.w.calls[class].Add(1)
+		c.w.sent[c.rank][class].Add(bytes)
+		return
+	}
 	out := make([]T, len(data))
 	copy(out, data)
-	bytes := int64(len(data)) * elemSize[T]()
 	c.accountTransfer(to, class, bytes)
 	if p := c.w.perturb; p != nil && p.WireDelay != nil {
 		if d := p.WireDelay(c.rank, to, bytes); d > 0 {
@@ -366,12 +390,20 @@ func Send[T Elem](c *Comm, to, tag int, data []T) {
 }
 
 // Recv receives a []T from rank `from` with the given tag, blocking until
-// a matching message arrives.
+// a matching message arrives. Under a configured deadline a silent peer
+// trips a PeerLostError panic instead of hanging forever.
 func Recv[T Elem](c *Comm, from, tag int) []T {
-	return c.w.boxes[from][c.rank].take(tag).([]T)
+	d := c.w.deadline
+	data, ok := c.w.boxes[from][c.rank].take(tag, d)
+	if !ok {
+		c.lostPeer(from, fmt.Sprintf("Recv tag %d", tag), d)
+	}
+	return data.([]T)
 }
 
-// Barrier blocks until every rank has entered it. Reusable.
+// Barrier blocks until every rank has entered it. Reusable. Under a
+// configured deadline a barrier that never completes (a peer died before
+// entering) trips a PeerLostError panic on every waiting rank.
 func (c *Comm) Barrier() {
 	w := c.w
 	w.barrierMu.Lock()
@@ -381,10 +413,34 @@ func (c *Comm) Barrier() {
 		w.barrierN = 0
 		w.barrierGen++
 		w.barrierCv.Broadcast()
-	} else {
-		for gen == w.barrierGen {
+		w.barrierMu.Unlock()
+		return
+	}
+	deadline := w.deadline
+	var limit time.Time
+	if deadline > 0 {
+		limit = time.Now().Add(deadline)
+	}
+	for gen == w.barrierGen {
+		if deadline <= 0 {
 			w.barrierCv.Wait()
+			continue
 		}
+		remaining := time.Until(limit)
+		if remaining <= 0 {
+			// Withdraw so the count stays consistent for any
+			// later-generation bookkeeping, then report the loss.
+			w.barrierN--
+			w.barrierMu.Unlock()
+			c.lostPeer(-1, "Barrier", deadline)
+		}
+		t := time.AfterFunc(remaining+time.Millisecond, func() {
+			w.barrierMu.Lock()
+			w.barrierCv.Broadcast()
+			w.barrierMu.Unlock()
+		})
+		w.barrierCv.Wait()
+		t.Stop()
 	}
 	w.barrierMu.Unlock()
 }
@@ -494,6 +550,8 @@ func newWorld(size int) *world {
 		sent:      make([][numClasses]atomic.Int64, size),
 		recv:      make([][numClasses]atomic.Int64, size),
 		queueTick: make([]int64, size),
+		opCalls:   make([]atomic.Int64, size),
+		failed:    make([]atomic.Pointer[RankFailure], size),
 	}
 	w.barrierCv = sync.NewCond(&w.barrierMu)
 	w.boxes = make([][]*pairBox, size)
@@ -555,6 +613,10 @@ func (c *Comm) Split(tag int, color int64, key int) *Comm {
 	child, ok := c.w.splits[color]
 	if !ok {
 		child = newWorld(len(group))
+		// Peer-loss detection follows the ranks into the group: a
+		// member stuck behind a dead parent-world rank must still
+		// unblock. Crash schedules do not (they key parent ranks).
+		child.deadline = c.w.deadline
 		c.w.splits[color] = child
 	}
 	child.barrierMu.Lock()
