@@ -11,6 +11,7 @@ package ptdft_test
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"ptdft/internal/grid"
 	"ptdft/internal/hamiltonian"
 	"ptdft/internal/ion"
+	"ptdft/internal/lanes"
 	"ptdft/internal/laser"
 	"ptdft/internal/lattice"
 	"ptdft/internal/mixing"
@@ -275,6 +277,42 @@ func recordBench(b *testing.B, g *grid.Grid, nb int, allocsPerOp float64) {
 	}
 }
 
+// processAllocs returns the process-wide heap allocation count (the Mallocs
+// delta across all goroutines) incurred by one execution of fn. Used for
+// ops that fan out across rank goroutines, where the per-goroutine view of
+// testing.AllocsPerRun's averaging window is too coarse to fence manually.
+func processAllocs(fn func()) float64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs - before.Mallocs)
+}
+
+// distAllocs measures the per-op process-wide allocations of a collective:
+// every rank calls it with the same n and body, rank 0 snapshots the global
+// malloc counter around the barrier-fenced loop and gets the per-op delta,
+// the other ranks get -1. The one unmeasured leading call warms any
+// lazily-grown workspace so the fenced loop sees the steady state.
+func distAllocs(c *mpi.Comm, n int, body func()) float64 {
+	body()
+	c.Barrier()
+	var before, after runtime.MemStats
+	if c.Rank() == 0 {
+		runtime.ReadMemStats(&before)
+	}
+	c.Barrier()
+	for i := 0; i < n; i++ {
+		body()
+	}
+	c.Barrier()
+	if c.Rank() != 0 {
+		return -1
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
 func BenchmarkRealFockApplyAllBands(b *testing.B) {
 	g, psi, nb := fixture(b)
 	op := fock.NewOperator(g, xc.HSE06(), psi, nb)
@@ -290,7 +328,8 @@ func BenchmarkRealFockApplyAllBands(b *testing.B) {
 	b.StopTimer()
 	// Apply on the reference set runs the symmetric path: nb(nb+1)/2 pairs.
 	b.ReportMetric(float64(nb*(nb+1)/2), "fft_pairs/op")
-	recordBench(b, g, nb, -1)
+	allocs := testing.AllocsPerRun(1, func() { op.Apply(out, psi, nb) })
+	recordBench(b, g, nb, allocs)
 }
 
 // BenchmarkFockApplyGeneric is the generic (non-reference) application of
@@ -329,7 +368,8 @@ func BenchmarkFockApplyToReference(b *testing.B) {
 		op.ApplyToReference(out)
 	}
 	b.StopTimer()
-	recordBench(b, g, nb, -1)
+	allocs := testing.AllocsPerRun(1, func() { op.ApplyToReference(out) })
+	recordBench(b, g, nb, allocs)
 }
 
 // BenchmarkFockEnergy streams the exchange energy on the reference set.
@@ -344,24 +384,27 @@ func BenchmarkFockEnergy(b *testing.B) {
 	}
 	b.StopTimer()
 	_ = sink
-	recordBench(b, g, nb, -1)
+	allocs := testing.AllocsPerRun(1, func() { _ = op.Energy(psi, nb) })
+	recordBench(b, g, nb, allocs)
 }
 
 // BenchmarkFFTPoissonSolve times one fused Poisson round trip on the
-// wavefunction box - the atom the nb^2 exchange cost is built from.
+// wavefunction box - the atom the nb^2 exchange cost is built from. Since
+// PR 8 the production solve runs over the lane-blocked SoA layout
+// (PoissonSlabWS); this measures exactly that path.
 func BenchmarkFFTPoissonSolve(b *testing.B) {
 	g, psi, nb := fixture(b)
 	kernel := fock.BuildKernel(g, xc.HSE06())
-	buf := make([]complex128, g.NTot)
-	g.ToRealSerial(buf, psi[:g.NG])
+	buf := lanes.New(g.NTot)
 	ws := g.Plan.NewWorkspace()
+	g.ToRealSlabWS(buf, psi[:g.NG], ws)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Plan.PoissonSerialWS(buf, kernel, ws)
+		g.Plan.PoissonSlabWS(buf, kernel, ws)
 	}
 	b.StopTimer()
-	allocs := testing.AllocsPerRun(1, func() { g.Plan.PoissonSerialWS(buf, kernel, ws) })
+	allocs := testing.AllocsPerRun(1, func() { g.Plan.PoissonSlabWS(buf, kernel, ws) })
 	recordBench(b, g, nb, allocs)
 }
 
@@ -546,14 +589,19 @@ func BenchmarkDistExchange(b *testing.B) {
 		})
 	}
 	b.Run("exact", func(b *testing.B) {
+		var allocs float64
 		run(b, func(d *dist.Ctx, local []complex128, ex *dist.ExchangeWorkspace) {
 			for i := 0; i < b.N; i++ {
 				d.FockExchangeWS(local, local, kernel, 0.25, opt, ex)
 			}
+			if a := distAllocs(d.C, 2, func() { d.FockExchangeWS(local, local, kernel, 0.25, opt, ex) }); a >= 0 {
+				allocs = a
+			}
 		})
-		recordBench(b, g, nb, -1)
+		recordBench(b, g, nb, allocs)
 	})
 	b.Run("ace_build", func(b *testing.B) {
+		var allocs float64
 		run(b, func(d *dist.Ctx, local []complex128, ex *dist.ExchangeWorkspace) {
 			a := d.NewACE()
 			for i := 0; i < b.N; i++ {
@@ -561,10 +609,18 @@ func BenchmarkDistExchange(b *testing.B) {
 					panic(err)
 				}
 			}
+			if al := distAllocs(d.C, 2, func() {
+				if err := a.Rebuild(local, nil, kernel, 0.25, opt, ex); err != nil {
+					panic(err)
+				}
+			}); al >= 0 {
+				allocs = al
+			}
 		})
-		recordBench(b, g, nb, -1)
+		recordBench(b, g, nb, allocs)
 	})
 	b.Run("ace_apply", func(b *testing.B) {
+		var allocs float64
 		run(b, func(d *dist.Ctx, local []complex128, ex *dist.ExchangeWorkspace) {
 			a := d.NewACE()
 			if err := a.Rebuild(local, nil, kernel, 0.25, opt, ex); err != nil {
@@ -574,8 +630,11 @@ func BenchmarkDistExchange(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				a.Apply(out, local)
 			}
+			if al := distAllocs(d.C, 2, func() { a.Apply(out, local) }); al >= 0 {
+				allocs = al
+			}
 		})
-		recordBench(b, g, nb, -1)
+		recordBench(b, g, nb, allocs)
 	})
 }
 
@@ -612,6 +671,7 @@ func BenchmarkDistExchangeStraggler(b *testing.B) {
 			// measurement, not the thread pool's.
 			defer parallel.SetMaxWorkers(parallel.SetMaxWorkers(1))
 			b.ReportAllocs()
+			var allocs float64
 			mpi.RunPerturbed(ranks, p, func(c *mpi.Comm) {
 				d, err := dist.NewCtx(c, g, nb, 2)
 				if err != nil {
@@ -632,8 +692,11 @@ func BenchmarkDistExchangeStraggler(b *testing.B) {
 				if c.Rank() == 0 {
 					b.StopTimer()
 				}
+				if a := distAllocs(c, 2, func() { d.FockExchangeWS(local, local, kernel, 0.25, tc.opt, ex) }); a >= 0 {
+					allocs = a
+				}
 			})
-			recordBench(b, g, nb, -1)
+			recordBench(b, g, nb, allocs)
 		})
 	}
 }
@@ -654,6 +717,7 @@ func BenchmarkDistExchangeScaling(b *testing.B) {
 		defer parallel.SetMaxWorkers(parallel.SetMaxWorkers(1))
 		opt := dist.ExchangeOptions{Strategy: s}
 		b.ReportAllocs()
+		var allocs float64
 		mpi.Run(ranks, func(c *mpi.Comm) {
 			d, err := dist.NewCtx(c, g, bands, 2)
 			if err != nil {
@@ -674,8 +738,11 @@ func BenchmarkDistExchangeScaling(b *testing.B) {
 			if c.Rank() == 0 {
 				b.StopTimer()
 			}
+			if a := distAllocs(c, 2, func() { d.FockExchangeWS(local, local, kernel, 0.25, opt, ex) }); a >= 0 {
+				allocs = a
+			}
 		})
-		recordBench(b, g, bands, -1)
+		recordBench(b, g, bands, allocs)
 	}
 	strategies := []struct {
 		name string
@@ -731,9 +798,7 @@ func BenchmarkMTSStep(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			var stepNs []float64
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+			oneCycle := func() {
 				mpi.Run(ranks, func(c *mpi.Comm) {
 					d, err := dist.NewCtx(c, g, nb, 2)
 					if err != nil {
@@ -754,10 +819,18 @@ func BenchmarkMTSStep(b *testing.B) {
 					}
 				})
 			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				oneCycle()
+			}
 			b.StopTimer()
 			med := median(stepNs)
 			b.ReportMetric(med, "ns/step-median")
-			if err := perf.RecordMeasurement("BENCH_fock.json", b.Name(), med, -1, g.N, nb, parallel.MaxWorkers()); err != nil {
+			// Allocations per step, world setup amortized over the cycle -
+			// the same granularity as the recorded median step time.
+			allocs := processAllocs(oneCycle) / cycle
+			if err := perf.RecordMeasurement("BENCH_fock.json", b.Name(), med, allocs, g.N, nb, parallel.MaxWorkers()); err != nil {
 				b.Logf("bench record not written: %v", err)
 			}
 		})
@@ -787,6 +860,7 @@ func BenchmarkEhrenfestStep(b *testing.B) {
 	}
 	b.Run("step", func(b *testing.B) {
 		b.ReportAllocs()
+		var allocs float64
 		mpi.Run(ranks, func(c *mpi.Comm) {
 			cellR := newCell()
 			gR := grid.MustNew(cellR, 3)
@@ -807,11 +881,19 @@ func BenchmarkEhrenfestStep(b *testing.B) {
 					panic(err)
 				}
 			}
+			if a := distAllocs(c, 1, func() {
+				if err := v.Step(); err != nil {
+					panic(err)
+				}
+			}); a >= 0 {
+				allocs = a
+			}
 		})
-		recordBench(b, g, nb, -1)
+		recordBench(b, g, nb, allocs)
 	})
 	b.Run("forces", func(b *testing.B) {
 		b.ReportAllocs()
+		var allocs float64
 		mpi.Run(ranks, func(c *mpi.Comm) {
 			cellR := newCell()
 			gR := grid.MustNew(cellR, 3)
@@ -832,8 +914,15 @@ func BenchmarkEhrenfestStep(b *testing.B) {
 					panic(err)
 				}
 			}
+			if a := distAllocs(c, 2, func() {
+				if err := v.ComputeForces(); err != nil {
+					panic(err)
+				}
+			}); a >= 0 {
+				allocs = a
+			}
 		})
-		recordBench(b, g, nb, -1)
+		recordBench(b, g, nb, allocs)
 	})
 }
 

@@ -127,6 +127,28 @@ func TestBenchTrajectoryRecordsImprovement(t *testing.T) {
 			}
 		}
 	}
+	// The lane-blocked SoA kernel layer (label pr8-lanes): the headline
+	// FFT/Fock hot-path benchmarks re-pointed at the slab kernels must
+	// hold a >= 1.5x recorded improvement over the pr2-workspaces scalar
+	// records at zero steady-state allocations. The allocs field is also a
+	// real measured count now (satellite of the same PR: no record ships
+	// with the -1 "not measured" sentinel for these benchmarks).
+	for _, name := range []string{"BenchmarkFFTPoissonSolve", "BenchmarkRealFockApplyAllBands"} {
+		base, okB := bf.Find(name, "pr2-workspaces")
+		cur, okC := bf.Find(name, "pr8-lanes")
+		switch {
+		case !okB || !okC:
+			t.Errorf("pr8-lanes trajectory incomplete for %s: pr2=%v pr8=%v", name, okB, okC)
+		default:
+			if ratio := base.NsPerOp / cur.NsPerOp; ratio < 1.5 {
+				t.Errorf("%s: recorded SoA speedup %.2fx < 1.5x (%.0f -> %.0f ns/op)", name, ratio, base.NsPerOp, cur.NsPerOp)
+			}
+			if cur.AllocsPerOp != 0 {
+				t.Errorf("%s: pr8-lanes recorded %.1f allocs/op, want a real measured 0", name, cur.AllocsPerOp)
+			}
+		}
+	}
+
 	// The unperturbed scaling curve must also be on record: the halved
 	// symmetric-pair count keeps the dynamic schedule from costing anything
 	// when nothing straggles (steal no slower than the overlapped broadcast

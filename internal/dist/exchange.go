@@ -9,6 +9,7 @@ import (
 
 	"ptdft/internal/fock"
 	"ptdft/internal/fourier"
+	"ptdft/internal/lanes"
 	"ptdft/internal/mpi"
 	"ptdft/internal/parallel"
 )
@@ -138,10 +139,10 @@ type ExchangeOptions struct {
 // Send/Bcast semantics remain - they model the wire).
 type ExchangeWorkspace struct {
 	g       *Ctx
-	psiReal []complex128          // nbl x NTot: local bands in real space
-	acc     []complex128          // nbl x NTot: exchange accumulators
-	pairs   []complex128          // nw x NTot: per-worker Poisson buffers
-	phiR    []complex128          // NTot: current reference band in real space
+	psiReal lanes.Slab            // nbl x NTot: local bands in real space (SoA)
+	acc     lanes.Slab            // nbl x NTot: exchange accumulators (SoA)
+	pairs   lanes.Slab            // nw x NTot: per-worker Poisson buffers (SoA)
+	phiR    lanes.Slab            // NTot: current reference band in real space (SoA)
 	band    [2]([]complex128)     // NG wire buffers (two for the overlapped pipeline)
 	ring    []complex128          // nbl x NG: round-robin staging block
 	vx      []complex128          // nbl x NG: result block, valid until the next call
@@ -170,9 +171,9 @@ func (d *Ctx) NewExchangeWorkspace() *ExchangeWorkspace {
 	ng, ntot, nbl := d.G.NG, d.G.NTot, d.NumLocalBands()
 	ws := &ExchangeWorkspace{
 		g:       d,
-		psiReal: make([]complex128, nbl*ntot),
-		acc:     make([]complex128, nbl*ntot),
-		phiR:    make([]complex128, ntot),
+		psiReal: lanes.New(nbl * ntot),
+		acc:     lanes.New(nbl * ntot),
+		phiR:    lanes.New(ntot),
 		ring:    make([]complex128, nbl*ng),
 		vx:      make([]complex128, nbl*ng),
 		fftPhi:  d.G.Plan.NewWorkspace(),
@@ -217,8 +218,8 @@ func (ws *ExchangeWorkspace) refault() {
 // cover nw workers. Scratch scales with parallelism, not band count.
 func (ws *ExchangeWorkspace) ensureWorkers(nw int) {
 	ntot := ws.g.G.NTot
-	if len(ws.pairs) < nw*ntot {
-		ws.pairs = make([]complex128, nw*ntot)
+	if ws.pairs.Len() < nw*ntot {
+		ws.pairs = lanes.New(nw * ntot)
 	}
 	for len(ws.fft) < nw {
 		ws.fft = append(ws.fft, ws.g.G.Plan.NewWorkspace())
@@ -262,16 +263,14 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 	// which is the zero-allocation steady state the solver alloc test pins.
 	if nw <= 1 {
 		for j := 0; j < nbl; j++ {
-			d.G.ToRealSerialWS(ws.psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng], ws.fft[0])
+			d.G.ToRealSlabWS(ws.psiReal.Row(j, ntot), psi[j*ng:(j+1)*ng], ws.fft[0])
 		}
 	} else {
 		parallel.ForWorker(nbl, func(w, j int) {
-			d.G.ToRealSerialWS(ws.psiReal[j*ntot:(j+1)*ntot], psi[j*ng:(j+1)*ng], ws.fft[w])
+			d.G.ToRealSlabWS(ws.psiReal.Row(j, ntot), psi[j*ng:(j+1)*ng], ws.fft[w])
 		})
 	}
-	for i := range ws.acc {
-		ws.acc[i] = 0
-	}
+	ws.acc.Zero()
 
 	switch opt.Strategy {
 	case BcastOverlapped:
@@ -286,11 +285,11 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 
 	if nw <= 1 {
 		for j := 0; j < nbl; j++ {
-			d.G.FromRealSerialWS(ws.vx[j*ng:(j+1)*ng], ws.acc[j*ntot:(j+1)*ntot], ws.fft[0])
+			d.G.FromRealSlabWS(ws.vx[j*ng:(j+1)*ng], ws.acc.Row(j, ntot), ws.fft[0])
 		}
 	} else {
 		parallel.ForWorker(nbl, func(w, j int) {
-			d.G.FromRealSerialWS(ws.vx[j*ng:(j+1)*ng], ws.acc[j*ntot:(j+1)*ntot], ws.fft[w])
+			d.G.FromRealSlabWS(ws.vx[j*ng:(j+1)*ng], ws.acc.Row(j, ntot), ws.fft[w])
 		})
 	}
 	// Contributions other ranks computed for our bands arrive on the sphere
@@ -315,14 +314,14 @@ func (ws *ExchangeWorkspace) process(band []complex128) {
 	d := ws.g
 	ntot := d.G.NTot
 	t0 := d.C.WorkStart() // straggler model: stretch this rank's fold work
-	d.G.ToRealSerialWS(ws.phiR, band, ws.fftPhi)
+	d.G.ToRealSlabWS(ws.phiR, band, ws.fftPhi)
 	if parallel.NumWorkers(ws.nbl) <= 1 {
 		for j := 0; j < ws.nbl; j++ {
-			fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[:ntot], ws.fft[0])
+			fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal.Row(j, ntot), ws.acc.Row(j, ntot), ws.pairs.Row(0, ntot), ws.fft[0])
 		}
 	} else {
 		parallel.ForWorker(ws.nbl, func(w, j int) {
-			fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal[j*ntot:(j+1)*ntot], ws.acc[j*ntot:(j+1)*ntot], ws.pairs[w*ntot:(w+1)*ntot], ws.fft[w])
+			fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, ws.phiR, ws.psiReal.Row(j, ntot), ws.acc.Row(j, ntot), ws.pairs.Row(w, ntot), ws.fft[w])
 		})
 	}
 	d.C.WorkEnd(t0)

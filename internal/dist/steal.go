@@ -37,6 +37,7 @@ package dist
 
 import (
 	"ptdft/internal/fock"
+	"ptdft/internal/lanes"
 	"ptdft/internal/mpi"
 )
 
@@ -52,10 +53,10 @@ type stealState struct {
 	pairI  []int32
 	pairJ  []int32
 
-	allR    []complex128 // NB x NTot: every reference band in real space
-	psiAllR []complex128 // NB x NTot: every target band (rectangle, size > 1)
+	allR    lanes.Slab // NB x NTot: every reference band in real space (SoA)
+	psiAllR lanes.Slab // NB x NTot: every target band (rectangle, size > 1)
 	psiBand [2][]complex128
-	remR    []complex128   // NB x NTot: accumulators for bands owned elsewhere
+	remR    lanes.Slab     // NB x NTot: accumulators for bands owned elsewhere (SoA)
 	remG    []complex128   // NB x NG: remote contributions on the sphere
 	touched []bool         // NB: remote bands this rank contributed to
 	send    [][]complex128 // Alltoallv views into remG, one per rank
@@ -148,12 +149,12 @@ func (ws *ExchangeWorkspace) ensureSteal(rect bool) *stealState {
 		st.rect, st.npairs = rect, stealPairCount(nb, rect)
 		stealFillPairs(nb, rect, st.pairI, st.pairJ)
 	}
-	if len(st.allR) < nb*ntot {
-		st.allR = make([]complex128, nb*ntot)
+	if st.allR.Len() < nb*ntot {
+		st.allR = lanes.New(nb * ntot)
 	}
 	if size > 1 {
-		if len(st.remR) < nb*ntot {
-			st.remR = make([]complex128, nb*ntot)
+		if st.remR.Len() < nb*ntot {
+			st.remR = lanes.New(nb * ntot)
 			st.remG = make([]complex128, nb*ng)
 			st.touched = make([]bool, nb)
 			st.vxAdd = make([]complex128, ws.nbl*ng)
@@ -163,8 +164,8 @@ func (ws *ExchangeWorkspace) ensureSteal(rect bool) *stealState {
 				st.send[r] = st.remG[lo*ng : hi*ng]
 			}
 		}
-		if rect && len(st.psiAllR) < nb*ntot {
-			st.psiAllR = make([]complex128, nb*ntot)
+		if rect && st.psiAllR.Len() < nb*ntot {
+			st.psiAllR = lanes.New(nb * ntot)
 			st.psiBand[0] = make([]complex128, ng)
 			st.psiBand[1] = make([]complex128, ng)
 		}
@@ -172,15 +173,15 @@ func (ws *ExchangeWorkspace) ensureSteal(rect bool) *stealState {
 	return st
 }
 
-// stealDst returns the real-space accumulator for band b: the local acc
-// row when this rank owns b, the staged remote row otherwise.
-func (ws *ExchangeWorkspace) stealDst(b, myLo int, st *stealState) []complex128 {
+// stealDst returns the real-space SoA accumulator for band b: the local
+// acc row when this rank owns b, the staged remote row otherwise.
+func (ws *ExchangeWorkspace) stealDst(b, myLo int, st *stealState) lanes.Slab {
 	ntot := ws.g.G.NTot
 	if b >= myLo && b < myLo+ws.nbl {
-		return ws.acc[(b-myLo)*ntot : (b-myLo+1)*ntot]
+		return ws.acc.Row(b-myLo, ntot)
 	}
 	st.touched[b] = true
-	return st.remR[b*ntot : (b+1)*ntot]
+	return st.remR.Row(b, ntot)
 }
 
 // stealContract folds one claimed pair. Pairs within a chunk run serially
@@ -189,42 +190,31 @@ func (ws *ExchangeWorkspace) stealDst(b, myLo int, st *stealState) []complex128 
 func (ws *ExchangeWorkspace) stealContract(i, j, myLo int, st *stealState) {
 	d := ws.g
 	ntot := d.G.NTot
-	phiI := st.allR[i*ntot : (i+1)*ntot]
+	phiI := st.allR.Row(i, ntot)
+	pair := ws.pairs.Row(0, ntot)
 	if st.rect {
 		// One-sided fold from the bcast strategy's exact inputs: wire-
 		// precision reference i, full-precision target j.
-		var src []complex128
+		var src lanes.Slab
 		if j >= myLo && j < myLo+ws.nbl {
-			src = ws.psiReal[(j-myLo)*ntot : (j-myLo+1)*ntot]
+			src = ws.psiReal.Row(j-myLo, ntot)
 		} else {
-			src = st.psiAllR[j*ntot : (j+1)*ntot]
+			src = st.psiAllR.Row(j, ntot)
 		}
-		fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, phiI, src, ws.stealDst(j, myLo, st), ws.pairs[:ntot], ws.fft[0])
+		fock.ContractReferenceWS(d.G, ws.kernel, ws.alpha, phiI, src, ws.stealDst(j, myLo, st), pair, ws.fft[0])
 		return
 	}
 	// Symmetric fold: one Poisson solve serves both sides of the pair,
-	// the serial operator's contractPair arithmetic.
-	a := complex(-ws.alpha, 0)
-	phiJ := st.allR[j*ntot : (j+1)*ntot]
-	pair := ws.pairs[:ntot]
-	for k := 0; k < ntot; k++ {
-		p := phiI[k]
-		pair[k] = complex(real(p), -imag(p)) * phiJ[k]
-	}
-	d.G.Plan.PoissonSerialWS(pair, ws.kernel, ws.fft[0])
+	// the serial operator's two-sided SoA contraction. stealDst(j) before
+	// stealDst(i) keeps the touched-marking order of the scalar path.
 	accJ := ws.stealDst(j, myLo, st)
+	phiJ := st.allR.Row(j, ntot)
 	if i == j {
-		for k := 0; k < ntot; k++ {
-			accJ[k] += a * phiI[k] * pair[k]
-		}
+		fock.ContractPairReferenceWS(d.G, ws.kernel, ws.alpha, phiI, phiJ, accJ, accJ, pair, true, ws.fft[0])
 		return
 	}
 	accI := ws.stealDst(i, myLo, st)
-	for k := 0; k < ntot; k++ {
-		v := pair[k]
-		accJ[k] += a * phiI[k] * v
-		accI[k] += a * phiJ[k] * complex(real(v), -imag(v))
-	}
+	fock.ContractPairReferenceWS(d.G, ws.kernel, ws.alpha, phiI, phiJ, accI, accJ, pair, false, ws.fft[0])
 }
 
 // exchangeSteal runs the dynamic schedule: pipeline the band broadcasts,
@@ -261,7 +251,7 @@ func (d *Ctx) exchangeSteal(phi, psi []complex128, single bool, chunkReq int, ws
 			if single {
 				roundSingle(buf)
 			}
-			d.G.ToRealSerialWS(st.allR[i*ntot:(i+1)*ntot], buf, ws.fftPhi)
+			d.G.ToRealSlabWS(st.allR.Row(i, ntot), buf, ws.fftPhi)
 		}
 		t0 := d.C.WorkStart()
 		for t := 0; t < st.npairs; t++ {
@@ -305,9 +295,9 @@ func (d *Ctx) exchangeSteal(phi, psi []complex128, single bool, chunkReq int, ws
 			if received+1 < nb {
 				fetch(received + 1)
 			}
-			d.G.ToRealSerialWS(st.allR[received*ntot:(received+1)*ntot], buf, ws.fftPhi)
+			d.G.ToRealSlabWS(st.allR.Row(received, ntot), buf, ws.fftPhi)
 			if rect && d.bandOwner(received) != rank {
-				d.G.ToRealSerialWS(st.psiAllR[received*ntot:(received+1)*ntot], st.psiBand[received%2], ws.fftPhi)
+				d.G.ToRealSlabWS(st.psiAllR.Row(received, ntot), st.psiBand[received%2], ws.fftPhi)
 			}
 			received++
 		}
@@ -357,11 +347,8 @@ func (d *Ctx) exchangeSteal(phi, psi []complex128, single bool, chunkReq int, ws
 		}
 		row := st.remG[b*ng : (b+1)*ng]
 		if st.touched[b] {
-			d.G.FromRealSerialWS(row, st.remR[b*ntot:(b+1)*ntot], ws.fft[0])
-			rem := st.remR[b*ntot : (b+1)*ntot]
-			for k := range rem {
-				rem[k] = 0
-			}
+			d.G.FromRealSlabWS(row, st.remR.Row(b, ntot), ws.fft[0])
+			st.remR.Row(b, ntot).Zero()
 			st.touched[b] = false
 		} else {
 			for k := range row {

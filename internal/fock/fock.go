@@ -30,10 +30,10 @@ package fock
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"ptdft/internal/fourier"
 	"ptdft/internal/grid"
+	"ptdft/internal/lanes"
 	"ptdft/internal/parallel"
 	"ptdft/internal/xc"
 )
@@ -46,8 +46,10 @@ type Operator struct {
 	alpha  float64
 	kernel []float64 // K(G) on the wavefunction box, includes screening
 	// phiReal holds the reference orbitals in real space on the
-	// wavefunction box, one band per NTot block.
-	phiReal []complex128
+	// wavefunction box in the lane-blocked SoA layout (internal/lanes),
+	// one band per NTot block - every contraction reads it without
+	// re-interleaving.
+	phiReal lanes.Slab
 	// phi keeps a copy of the reference sphere coefficients so entry
 	// points can recognize "the operator applied to its own reference
 	// set" and take the symmetry-halved path.
@@ -62,22 +64,21 @@ type Operator struct {
 	rounds [][][2]int
 
 	// Workspace recycling: ws feeds both single-shot callers (ApplyReal)
-	// and the band-parallel entry points; accReal is the symmetric path's
-	// accumulator, handed out whole under mu so concurrent calls stay
-	// correct (a second caller simply builds a transient buffer).
+	// and the band-parallel entry points; accPool recycles the symmetric
+	// path's nb x NTot SoA accumulator, so concurrent calls stay correct
+	// (a second caller simply builds a transient slab).
 	ws      parallel.ScratchPool[*Workspace]
-	mu      sync.Mutex
-	accReal []complex128
+	accPool parallel.ScratchPool[*lanes.Slab]
 }
 
 // Workspace is the per-worker scratch of one exchange application: two
-// real-space boxes, the pair (Poisson) buffer, a sphere-coefficient
+// real-space SoA boxes, the pair (Poisson) slab, a sphere-coefficient
 // vector, and the FFT line scratch. Obtain one from NewWorkspace; a
 // Workspace must not be used by two goroutines at once.
 type Workspace struct {
-	src  []complex128 // NTot: band in real space
-	acc  []complex128 // NTot: exchange accumulator in real space
-	pair []complex128 // NTot: Poisson solve buffer
+	src  lanes.Slab   // NTot: band in real space (SoA)
+	acc  lanes.Slab   // NTot: exchange accumulator in real space (SoA)
+	pair lanes.Slab   // NTot: Poisson solve buffer (SoA)
 	sph  []complex128 // NG: sphere-coefficient scratch
 	fft  *fourier.Workspace3
 }
@@ -86,48 +87,37 @@ type Workspace struct {
 // calls on this operator.
 func (op *Operator) NewWorkspace() *Workspace {
 	return &Workspace{
-		src:  make([]complex128, op.g.NTot),
-		acc:  make([]complex128, op.g.NTot),
-		pair: make([]complex128, op.g.NTot),
+		src:  lanes.New(op.g.NTot),
+		acc:  lanes.New(op.g.NTot),
+		pair: lanes.New(op.g.NTot),
 		sph:  make([]complex128, op.g.NG),
 		fft:  op.g.Plan.NewWorkspace(),
 	}
 }
 
-// acquireAcc hands out the nb x NTot real-space accumulator of the
-// symmetric reference application, zeroed. The buffer is retained for the
-// operator's lifetime - a deliberate memory-for-speed trade (it is the
-// same size as the phiReal block the operator already holds, and PT-CN
-// calls the symmetric path every SCF iteration).
-func (op *Operator) acquireAcc() []complex128 {
+// acquireAcc hands out the nb x NTot real-space SoA accumulator of the
+// symmetric reference application, zeroed. Slabs recycle through accPool -
+// a deliberate memory-for-speed trade (one slab is the same size as the
+// phiReal block the operator already holds, and PT-CN calls the symmetric
+// path every SCF iteration).
+func (op *Operator) acquireAcc() *lanes.Slab {
 	n := op.nb * op.g.NTot
-	op.mu.Lock()
-	acc := op.accReal
-	op.accReal = nil
-	op.mu.Unlock()
-	if len(acc) != n {
-		acc = make([]complex128, n)
-	} else {
-		for i := range acc {
-			acc[i] = 0
-		}
+	acc := op.accPool.Get()
+	if acc.Len() != n {
+		acc = lanes.NewPtr(n)
 	}
+	acc.Zero()
 	return acc
 }
 
-func (op *Operator) releaseAcc(acc []complex128) {
-	op.mu.Lock()
-	if op.accReal == nil {
-		op.accReal = acc
-	}
-	op.mu.Unlock()
-}
+func (op *Operator) releaseAcc(acc *lanes.Slab) { op.accPool.Put(acc) }
 
 // NewOperator builds the Fock operator for hybrid parameters hyb and
 // reference orbitals phi given as sphere coefficients (band-major, nb x NG).
 func NewOperator(g *grid.Grid, hyb xc.HybridParams, phi []complex128, nb int) *Operator {
 	op := &Operator{g: g, alpha: hyb.Alpha, nb: nb}
 	op.ws.New = op.NewWorkspace
+	op.accPool.New = func() *lanes.Slab { return lanes.NewPtr(op.nb * op.g.NTot) }
 	op.kernel = BuildKernel(g, hyb)
 	op.SetOrbitals(phi, nb)
 	return op
@@ -178,14 +168,11 @@ func (op *Operator) SetOrbitals(phi []complex128, nb int) {
 	}
 	if nb != op.nb || op.pairs == nil {
 		op.pairs, op.rounds = pairSchedule(nb)
-		op.mu.Lock()
-		op.accReal = nil // sized for the old nb
-		op.mu.Unlock()
 	}
 	op.nb = nb
 	ntot := op.g.NTot
-	if len(op.phiReal) != nb*ntot {
-		op.phiReal = make([]complex128, nb*ntot)
+	if op.phiReal.Len() != nb*ntot {
+		op.phiReal = lanes.New(nb * ntot)
 	}
 	if len(op.phi) != nb*op.g.NG {
 		op.phi = make([]complex128, nb*op.g.NG)
@@ -194,7 +181,7 @@ func (op *Operator) SetOrbitals(phi []complex128, nb int) {
 	nw := parallel.NumWorkers(nb)
 	wss := op.ws.Acquire(nw)
 	parallel.ForWorker(nb, func(w, i int) {
-		op.g.ToRealSerialWS(op.phiReal[i*ntot:(i+1)*ntot], phi[i*op.g.NG:(i+1)*op.g.NG], wss[w].fft)
+		op.g.ToRealSlabWS(op.phiReal.Row(i, ntot), phi[i*op.g.NG:(i+1)*op.g.NG], wss[w].fft)
 	})
 	op.ws.Release(wss)
 }
@@ -275,18 +262,23 @@ func (op *Operator) ApplyReal(dstReal, srcReal []complex128) {
 	if len(dstReal) != ntot || len(srcReal) != ntot {
 		panic("fock: ApplyReal buffer size mismatch")
 	}
+	// Interleaved shim over the SoA core: pack once, contract nb bands in
+	// slab layout, accumulate back - two extra box passes amortized over
+	// nb Poisson solves.
 	ws := op.ws.Get()
-	op.applyRealWS(dstReal, srcReal, ws)
+	lanes.Pack(ws.src, srcReal)
+	ws.acc.Zero()
+	op.applyRealWS(ws.acc, ws.src, ws)
+	lanes.UnpackAdd(dstReal, ws.acc)
 	op.ws.Put(ws)
 }
 
-// applyRealWS folds every reference band into dstReal using the caller's
-// workspace (pair buffer + FFT scratch).
-func (op *Operator) applyRealWS(dstReal, srcReal []complex128, ws *Workspace) {
+// applyRealWS folds every reference band into the SoA accumulator dst
+// using the caller's workspace (pair slab + FFT scratch).
+func (op *Operator) applyRealWS(dst, src lanes.Slab, ws *Workspace) {
 	ntot := op.g.NTot
-	a := complex(-op.alpha, 0)
 	for i := 0; i < op.nb; i++ {
-		op.g.Plan.ContractSerialWS(dstReal, op.phiReal[i*ntot:(i+1)*ntot], srcReal, ws.pair, op.kernel, a, ws.fft)
+		op.g.Plan.ContractSlabWS(dst, op.phiReal.Row(i, ntot), src, ws.pair, op.kernel, -op.alpha, ws.fft)
 	}
 }
 
@@ -302,10 +294,20 @@ func ContractReference(g *grid.Grid, kernel []float64, alpha float64, phiReal, s
 	g.Plan.ReturnWorkspace(ws)
 }
 
-// ContractReferenceWS is ContractReference with caller-owned FFT scratch,
-// for loops that bind one workspace per worker.
-func ContractReferenceWS(g *grid.Grid, kernel []float64, alpha float64, phiReal, srcReal, dstReal, pair []complex128, fws *fourier.Workspace3) {
-	g.Plan.ContractSerialWS(dstReal, phiReal, srcReal, pair, kernel, complex(-alpha, 0), fws)
+// ContractReferenceWS is the SoA ContractReference with caller-owned FFT
+// scratch, for loops that bind one workspace per worker: all four buffers
+// are lane-blocked slabs, so the distributed exchange strategies chain
+// contractions without re-interleaving between stages.
+func ContractReferenceWS(g *grid.Grid, kernel []float64, alpha float64, phiReal, srcReal, dstReal, pair lanes.Slab, fws *fourier.Workspace3) {
+	g.Plan.ContractSlabWS(dstReal, phiReal, srcReal, pair, kernel, -alpha, fws)
+}
+
+// ContractPairReferenceWS is the two-sided symmetric SoA contraction: one
+// Poisson solve accumulating both accJ += -alpha phi_i v and (for i != j)
+// accI += -alpha phi_j conj(v), v = Poisson[phi_i^* phi_j]. The triangle
+// half of the dist steal schedule and the serial symmetric path share it.
+func ContractPairReferenceWS(g *grid.Grid, kernel []float64, alpha float64, phiI, phiJ, accI, accJ, pair lanes.Slab, diag bool, fws *fourier.Workspace3) {
+	g.Plan.ContractPairSlabWS(accI, accJ, phiI, phiJ, pair, kernel, -alpha, diag, fws)
 }
 
 // Apply computes V_X applied to nbands sphere-coefficient bands
@@ -343,12 +345,10 @@ func (op *Operator) Apply(dst, src []complex128, nbands int) {
 // fused contractions, back to the sphere, accumulate into dst.
 func (op *Operator) applyBand(dst, src []complex128, j int, ws *Workspace) {
 	ng := op.g.NG
-	op.g.ToRealSerialWS(ws.src, src[j*ng:(j+1)*ng], ws.fft)
-	for k := range ws.acc {
-		ws.acc[k] = 0
-	}
+	op.g.ToRealSlabWS(ws.src, src[j*ng:(j+1)*ng], ws.fft)
+	ws.acc.Zero()
 	op.applyRealWS(ws.acc, ws.src, ws)
-	op.g.FromRealSerialWS(ws.sph, ws.acc, ws.fft)
+	op.g.FromRealSlabWS(ws.sph, ws.acc, ws.fft)
 	d := dst[j*ng : (j+1)*ng]
 	for s := range d {
 		d[s] += ws.sph[s]
@@ -399,40 +399,22 @@ func (op *Operator) ApplyToReference(dst []complex128) {
 }
 
 // contractPair performs the single Poisson solve of the unordered pair
-// (i, j) and accumulates both sides of the symmetry into the real-space
-// accumulators: acc_j += -alpha phi_i v and (for i != j)
-// acc_i += -alpha phi_j conj(v), with v = Poisson[phi_i^* phi_j].
-func (op *Operator) contractPair(acc []complex128, i, j int, ws *Workspace) {
+// (i, j) and accumulates both sides of the symmetry into the SoA
+// accumulator: acc_j += -alpha phi_i v and (for i != j)
+// acc_i += -alpha phi_j conj(v), with v = Poisson[phi_i^* phi_j]. Both
+// accumulations ride inside the inverse z pass of the fused solve.
+func (op *Operator) contractPair(acc *lanes.Slab, i, j int, ws *Workspace) {
 	ntot := op.g.NTot
-	a := complex(-op.alpha, 0)
-	phiI := op.phiReal[i*ntot : (i+1)*ntot]
-	phiJ := op.phiReal[j*ntot : (j+1)*ntot]
-	pair := ws.pair
-	for k := 0; k < ntot; k++ {
-		p := phiI[k]
-		pair[k] = complex(real(p), -imag(p)) * phiJ[k]
-	}
-	op.g.Plan.PoissonSerialWS(pair, op.kernel, ws.fft)
-	accJ := acc[j*ntot : (j+1)*ntot]
-	if i == j {
-		for k := 0; k < ntot; k++ {
-			accJ[k] += a * phiI[k] * pair[k]
-		}
-		return
-	}
-	accI := acc[i*ntot : (i+1)*ntot]
-	for k := 0; k < ntot; k++ {
-		v := pair[k]
-		accJ[k] += a * phiI[k] * v
-		accI[k] += a * phiJ[k] * complex(real(v), -imag(v))
-	}
+	phiI := op.phiReal.Row(i, ntot)
+	phiJ := op.phiReal.Row(j, ntot)
+	op.g.Plan.ContractPairSlabWS(acc.Row(i, ntot), acc.Row(j, ntot), phiI, phiJ, ws.pair, op.kernel, -op.alpha, i == j, ws.fft)
 }
 
 // gatherBand projects real-space accumulator band j back onto the sphere
 // and adds it into dst (the accumulator is consumed).
-func (op *Operator) gatherBand(dst, acc []complex128, j int, ws *Workspace) {
+func (op *Operator) gatherBand(dst []complex128, acc *lanes.Slab, j int, ws *Workspace) {
 	ng, ntot := op.g.NG, op.g.NTot
-	op.g.FromRealSerialWS(ws.sph, acc[j*ntot:(j+1)*ntot], ws.fft)
+	op.g.FromRealSlabWS(ws.sph, acc.Row(j, ntot), ws.fft)
 	d := dst[j*ng : (j+1)*ng]
 	for s := range d {
 		d[s] += ws.sph[s]
@@ -461,16 +443,10 @@ func (op *Operator) Energy(psi []complex128, nbands int) float64 {
 	wss := op.ws.Acquire(nw)
 	parallel.ForWorker(nbands, func(w, j int) {
 		ws := wss[w]
-		op.g.ToRealSerialWS(ws.src, psi[j*ng:(j+1)*ng], ws.fft)
-		for k := range ws.acc {
-			ws.acc[k] = 0
-		}
+		op.g.ToRealSlabWS(ws.src, psi[j*ng:(j+1)*ng], ws.fft)
+		ws.acc.Zero()
 		op.applyRealWS(ws.acc, ws.src, ws)
-		var s float64
-		for k := range ws.acc {
-			s += real(ws.src[k])*real(ws.acc[k]) + imag(ws.src[k])*imag(ws.acc[k])
-		}
-		eband[j] = s
+		eband[j] = lanes.DotRe(ws.src, ws.acc)
 	})
 	op.ws.Release(wss)
 	var e float64
@@ -492,20 +468,14 @@ func (op *Operator) energyReference() float64 {
 	parallel.ForWorker(len(op.pairs), func(w, t int) {
 		ws := wss[w]
 		i, j := op.pairs[t][0], op.pairs[t][1]
-		phiI := op.phiReal[i*ntot : (i+1)*ntot]
-		phiJ := op.phiReal[j*ntot : (j+1)*ntot]
+		phiI := op.phiReal.Row(i, ntot)
+		phiJ := op.phiReal.Row(j, ntot)
 		pair, rho := ws.pair, ws.src
-		for k := 0; k < ntot; k++ {
-			p := phiI[k]
-			v := complex(real(p), -imag(p)) * phiJ[k]
-			pair[k] = v
-			rho[k] = v
-		}
-		op.g.Plan.PoissonSerialWS(pair, op.kernel, ws.fft)
-		var s float64
-		for k := 0; k < ntot; k++ {
-			s += real(rho[k])*real(pair[k]) + imag(rho[k])*imag(pair[k])
-		}
+		lanes.PairConj(pair, phiI, phiJ)
+		copy(rho.Re, pair.Re)
+		copy(rho.Im, pair.Im)
+		op.g.Plan.PoissonSlabWS(pair, op.kernel, ws.fft)
+		s := lanes.DotRe(rho, pair)
 		if i != j {
 			s *= 2
 		}

@@ -21,6 +21,8 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+
+	"ptdft/internal/lanes"
 )
 
 // maxDirectRadix is the largest prime handled by the O(r^2) generic
@@ -37,6 +39,11 @@ type stage struct {
 	twF, twI []complex128 // tw[q*m+k] = exp(∓2*pi*i*q*k*step/N), len r*m
 	rootF    []complex128 // rootF[q] = exp(-2*pi*i*q/r), len r
 	rootI    []complex128
+	// Split re/im copies of the same tables for the lane-blocked SoA
+	// butterflies (internal/lanes layout): one scalar load per lane group
+	// instead of a complex128 load per element.
+	twFre, twFim, twIre, twIim         []float64
+	rootFre, rootFim, rootIre, rootIim []float64
 }
 
 // Plan holds precomputed twiddle tables for a 1D transform of fixed length.
@@ -56,7 +63,8 @@ type Plan struct {
 // zero-cost empty workspace. A Workspace must not be shared between
 // concurrent transforms.
 type Workspace struct {
-	a, fa []complex128 // Bluestein convolution buffers, length blu.m
+	a, fa   []complex128 // Bluestein convolution buffers, length blu.m
+	la, lfa lanes.Slab   // lane-blocked Bluestein buffers, length blu.m*lanes.Width
 }
 
 // NewWorkspace allocates the scratch one transform of this plan needs.
@@ -65,6 +73,8 @@ func (p *Plan) NewWorkspace() *Workspace {
 	if p.blu != nil {
 		ws.a = make([]complex128, p.blu.m)
 		ws.fa = make([]complex128, p.blu.m)
+		ws.la = lanes.New(p.blu.m * lanes.Width)
+		ws.lfa = lanes.New(p.blu.m * lanes.Width)
 	}
 	return ws
 }
@@ -124,9 +134,25 @@ func (p *Plan) buildStages() {
 			st.rootF[q] = complex(c, s)
 			st.rootI[q] = complex(c, -s)
 		}
+		st.twFre, st.twFim = splitComplex(st.twF)
+		st.twIre, st.twIim = splitComplex(st.twI)
+		st.rootFre, st.rootFim = splitComplex(st.rootF)
+		st.rootIre, st.rootIim = splitComplex(st.rootI)
 		p.stages = append(p.stages, st)
 		nl = m
 	}
+}
+
+// splitComplex copies a complex table into separate re/im arrays, the
+// uniform-coefficient layout the lane-blocked butterflies read.
+func splitComplex(c []complex128) (re, im []float64) {
+	re = make([]float64, len(c))
+	im = make([]float64, len(c))
+	for i, v := range c {
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+	return re, im
 }
 
 // MustPlan is NewPlan that panics on error; for use with known-good sizes.
@@ -350,6 +376,9 @@ type bluestein struct {
 	// conjugate-chirp sequences for the forward and inverse transforms.
 	kernelF []complex128
 	kernelB []complex128
+	// Split re/im copies for the lane-blocked path.
+	chirpFre, chirpFim, chirpIre, chirpIim     []float64
+	kernelFre, kernelFim, kernelBre, kernelBim []float64
 }
 
 func newBluestein(n int) (*bluestein, error) {
@@ -389,6 +418,10 @@ func newBluestein(n int) (*bluestein, error) {
 	}
 	b.kernelF = mk(false)
 	b.kernelB = mk(true)
+	b.chirpFre, b.chirpFim = splitComplex(b.chirpF)
+	b.chirpIre, b.chirpIim = splitComplex(b.chirpI)
+	b.kernelFre, b.kernelFim = splitComplex(b.kernelF)
+	b.kernelBre, b.kernelBim = splitComplex(b.kernelB)
 	return b, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ptdft/internal/lanes"
 	"ptdft/internal/parallel"
 )
 
@@ -24,6 +25,7 @@ type Plan3 struct {
 // between concurrent transforms.
 type Workspace3 struct {
 	u, v          []complex128
+	lu, lv        lanes.Slab // lane blocks for the slab passes, maxdim*lanes.Width
 	wsx, wsy, wsz *Workspace
 }
 
@@ -39,6 +41,8 @@ func (p *Plan3) NewWorkspace() *Workspace3 {
 	return &Workspace3{
 		u:   make([]complex128, n),
 		v:   make([]complex128, n),
+		lu:  lanes.New(n * lanes.Width),
+		lv:  lanes.New(n * lanes.Width),
 		wsx: p.px.NewWorkspace(),
 		wsy: p.py.NewWorkspace(),
 		wsz: p.pz.NewWorkspace(),

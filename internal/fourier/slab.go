@@ -1,0 +1,375 @@
+package fourier
+
+import (
+	"fmt"
+
+	"ptdft/internal/lanes"
+)
+
+// This file is the slab (grid-layout SoA) face of the 3D plan: the same
+// fused passes as fft3.go's serial path, but the grid lives in a
+// lanes.Slab (element i at Re[i]/Im[i]) and every axis pass transforms
+// lanes.Width pencils at once through transformLanes. Pencil-count
+// remainders (grids whose pencil counts are not multiples of Width) run
+// through the same lane kernels with the unused lanes zero-filled - the
+// transform of a zero lane is zero, so the padding never leaks into real
+// output and the code stays branch-uniform.
+//
+// Lane geometry per pass, for the row-major index (ix*Ny + iy)*Nz + iz:
+//
+//	z pass: lanes = Width consecutive rows (ix,iy); gather is a small
+//	        transpose (rows are contiguous, the lane block is element-major).
+//	y pass: lanes = Width consecutive iz within one ix; element iy of the
+//	        group starts at ix*Ny*Nz + iy*Nz + iz0, so each gather step is
+//	        one contiguous Width-wide copy.
+//	x pass: lanes = Width consecutive flat pencil indices r in [0, Ny*Nz);
+//	        element ix of the group starts at r0 + ix*Ny*Nz - again one
+//	        contiguous Width-wide copy per element.
+
+func (p *Plan3) checkSlab(s lanes.Slab, what string) {
+	if s.Len() != p.Size() {
+		panic(fmt.Sprintf("fourier: slab %s length %d != grid %d", what, s.Len(), p.Size()))
+	}
+}
+
+// zPassSlab transforms along z, src -> dst (which may be the same slab).
+func (p *Plan3) zPassSlab(dst, src lanes.Slab, inverse bool, ws *Workspace3) {
+	nz := p.nz
+	rows := p.nx * p.ny
+	lu := ws.lu.Slice(0, nz*lw)
+	lv := ws.lv.Slice(0, nz*lw)
+	for r0 := 0; r0 < rows; r0 += lw {
+		L := min(lw, rows-r0)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			rre := src.Re[base : base+nz]
+			rim := src.Im[base : base+nz]
+			for k := 0; k < nz; k++ {
+				lu.Re[k*lw+l] = rre[k]
+				lu.Im[k*lw+l] = rim[k]
+			}
+		}
+		zeroTailLanes(lu, nz, L)
+		p.pz.transformLanes(lv, lu, inverse, ws.wsz)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			rre := dst.Re[base : base+nz]
+			rim := dst.Im[base : base+nz]
+			for k := 0; k < nz; k++ {
+				rre[k] = lv.Re[k*lw+l]
+				rim[k] = lv.Im[k*lw+l]
+			}
+		}
+	}
+}
+
+// zeroTailLanes clears lanes [L, Width) of an n-element lane block.
+func zeroTailLanes(b lanes.Slab, n, L int) {
+	if L == lw {
+		return
+	}
+	for k := 0; k < n; k++ {
+		for l := L; l < lw; l++ {
+			b.Re[k*lw+l] = 0
+			b.Im[k*lw+l] = 0
+		}
+	}
+}
+
+// gatherStrided packs Width pencils of length n with element stride into a
+// lane block: lane l element k reads src[off + k*stride + l]. The Width
+// consecutive source values per element are contiguous, so the full-group
+// fast path is an 8-wide copy per element.
+func gatherStrided(b lanes.Slab, src lanes.Slab, off, n, stride, L int) {
+	if L == lw {
+		for k := 0; k < n; k++ {
+			o := off + k*stride
+			*(*[lw]float64)(b.Re[k*lw:]) = *(*[lw]float64)(src.Re[o:])
+			*(*[lw]float64)(b.Im[k*lw:]) = *(*[lw]float64)(src.Im[o:])
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		o := off + k*stride
+		for l := 0; l < L; l++ {
+			b.Re[k*lw+l] = src.Re[o+l]
+			b.Im[k*lw+l] = src.Im[o+l]
+		}
+		for l := L; l < lw; l++ {
+			b.Re[k*lw+l] = 0
+			b.Im[k*lw+l] = 0
+		}
+	}
+}
+
+// scatterStrided is the inverse of gatherStrided.
+func scatterStrided(dst lanes.Slab, b lanes.Slab, off, n, stride, L int) {
+	if L == lw {
+		for k := 0; k < n; k++ {
+			o := off + k*stride
+			*(*[lw]float64)(dst.Re[o:]) = *(*[lw]float64)(b.Re[k*lw:])
+			*(*[lw]float64)(dst.Im[o:]) = *(*[lw]float64)(b.Im[k*lw:])
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		o := off + k*stride
+		for l := 0; l < L; l++ {
+			dst.Re[o+l] = b.Re[k*lw+l]
+			dst.Im[o+l] = b.Im[k*lw+l]
+		}
+	}
+}
+
+// yPassSlab transforms along y (stride nz) in place.
+func (p *Plan3) yPassSlab(dst lanes.Slab, inverse bool, ws *Workspace3) {
+	nx, ny, nz := p.nx, p.ny, p.nz
+	lu := ws.lu.Slice(0, ny*lw)
+	lv := ws.lv.Slice(0, ny*lw)
+	for ix := 0; ix < nx; ix++ {
+		base := ix * ny * nz
+		for iz0 := 0; iz0 < nz; iz0 += lw {
+			L := min(lw, nz-iz0)
+			gatherStrided(lu, dst, base+iz0, ny, nz, L)
+			p.py.transformLanes(lv, lu, inverse, ws.wsy)
+			scatterStrided(dst, lv, base+iz0, ny, nz, L)
+		}
+	}
+}
+
+// xPassSlab transforms along x (stride ny*nz) in place.
+func (p *Plan3) xPassSlab(dst lanes.Slab, inverse bool, ws *Workspace3) {
+	nx, ny, nz := p.nx, p.ny, p.nz
+	stride := ny * nz
+	lu := ws.lu.Slice(0, nx*lw)
+	lv := ws.lv.Slice(0, nx*lw)
+	for r0 := 0; r0 < stride; r0 += lw {
+		L := min(lw, stride-r0)
+		gatherStrided(lu, dst, r0, nx, stride, L)
+		p.px.transformLanes(lv, lu, inverse, ws.wsx)
+		scatterStrided(dst, lv, r0, nx, stride, L)
+	}
+}
+
+// xPassKernelSlab is the kernel-fused x pass of the Poisson round trip:
+// per lane group, forward transform, multiply by kernel (carrying the
+// global 1/N), inverse transform, write back. The kernel values are
+// varying (one per lane), read as contiguous Width-wide blocks.
+func (p *Plan3) xPassKernelSlab(buf lanes.Slab, kernel []float64, ws *Workspace3) {
+	nx, ny, nz := p.nx, p.ny, p.nz
+	stride := ny * nz
+	invN := 1 / float64(p.Size())
+	lu := ws.lu.Slice(0, nx*lw)
+	lv := ws.lv.Slice(0, nx*lw)
+	for r0 := 0; r0 < stride; r0 += lw {
+		L := min(lw, stride-r0)
+		gatherStrided(lu, buf, r0, nx, stride, L)
+		p.px.transformLanes(lv, lu, false, ws.wsx)
+		if L == lw {
+			for k := 0; k < nx; k++ {
+				kv := (*[lw]float64)(kernel[r0+k*stride:])
+				vr := (*[lw]float64)(lv.Re[k*lw:])
+				vi := (*[lw]float64)(lv.Im[k*lw:])
+				for l := 0; l < lw; l++ {
+					s := kv[l] * invN
+					vr[l] *= s
+					vi[l] *= s
+				}
+			}
+		} else {
+			for k := 0; k < nx; k++ {
+				for l := 0; l < L; l++ {
+					s := kernel[r0+k*stride+l] * invN
+					lv.Re[k*lw+l] *= s
+					lv.Im[k*lw+l] *= s
+				}
+			}
+		}
+		p.px.transformLanes(lu, lv, true, ws.wsx)
+		scatterStrided(buf, lu, r0, nx, stride, L)
+	}
+}
+
+// RawSlabWS runs one unnormalized transform over a grid slab (no 1/N on
+// the inverse), the SoA counterpart of RawSerialWS. dst and src may be the
+// same slab.
+func (p *Plan3) RawSlabWS(dst, src lanes.Slab, inverse bool, ws *Workspace3) {
+	p.checkSlab(dst, "dst")
+	p.checkSlab(src, "src")
+	p.zPassSlab(dst, src, inverse, ws)
+	p.yPassSlab(dst, inverse, ws)
+	p.xPassSlab(dst, inverse, ws)
+}
+
+// PoissonSlabWS is the fused Poisson round trip over a grid slab:
+//
+//	buf <- IFFT[ kernel ⊙ FFT[buf] ] / N
+//
+// the SoA counterpart of PoissonSerialWS: five grid passes, each
+// transforming Width pencils per lane-kernel call.
+func (p *Plan3) PoissonSlabWS(buf lanes.Slab, kernel []float64, ws *Workspace3) {
+	p.checkSlab(buf, "buf")
+	if len(kernel) != p.Size() {
+		panic(fmt.Sprintf("fourier: Poisson kernel length %d != grid %d", len(kernel), p.Size()))
+	}
+	p.zPassSlab(buf, buf, false, ws)
+	p.yPassSlab(buf, false, ws)
+	p.xPassKernelSlab(buf, kernel, ws)
+	p.yPassSlab(buf, true, ws)
+	p.zPassSlab(buf, buf, true, ws)
+}
+
+// ContractSlabWS is the fused Fock-exchange contraction over grid slabs:
+//
+//	dst += scale * phi ⊙ Poisson[ conj(phi) ⊙ src ]
+//
+// the SoA counterpart of ContractSerialWS. The pair product is formed
+// inside the first z gather and the accumulation inside the last z
+// scatter; scale is real (the -alpha/2-or-alpha prefactor is always real),
+// which halves the multiplies of the complex-scale formulation. buf is
+// caller scratch of grid size and must not alias dst.
+func (p *Plan3) ContractSlabWS(dst, phi, src, buf lanes.Slab, kernel []float64, scale float64, ws *Workspace3) {
+	p.checkSlab(dst, "dst")
+	p.checkSlab(phi, "phi")
+	p.checkSlab(src, "src")
+	p.checkSlab(buf, "buf")
+	if len(kernel) != p.Size() {
+		panic(fmt.Sprintf("fourier: Contract kernel length %d != grid %d", len(kernel), p.Size()))
+	}
+	nz := p.nz
+	rows := p.nx * p.ny
+	lu := ws.lu.Slice(0, nz*lw)
+	lv := ws.lv.Slice(0, nz*lw)
+	// Forward z pass with the pair product conj(phi)*src fused into the
+	// gather transpose.
+	for r0 := 0; r0 < rows; r0 += lw {
+		L := min(lw, rows-r0)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				pr, pi := phi.Re[base+k], phi.Im[base+k]
+				sr, si := src.Re[base+k], src.Im[base+k]
+				lu.Re[k*lw+l] = pr*sr + pi*si
+				lu.Im[k*lw+l] = pr*si - pi*sr
+			}
+		}
+		zeroTailLanes(lu, nz, L)
+		p.pz.transformLanes(lv, lu, false, ws.wsz)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				buf.Re[base+k] = lv.Re[k*lw+l]
+				buf.Im[base+k] = lv.Im[k*lw+l]
+			}
+		}
+	}
+	p.yPassSlab(buf, false, ws)
+	p.xPassKernelSlab(buf, kernel, ws)
+	p.yPassSlab(buf, true, ws)
+	// Inverse z pass with dst += scale*phi*v fused into the scatter.
+	for r0 := 0; r0 < rows; r0 += lw {
+		L := min(lw, rows-r0)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				lu.Re[k*lw+l] = buf.Re[base+k]
+				lu.Im[k*lw+l] = buf.Im[base+k]
+			}
+		}
+		zeroTailLanes(lu, nz, L)
+		p.pz.transformLanes(lv, lu, true, ws.wsz)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				vr, vi := lv.Re[k*lw+l], lv.Im[k*lw+l]
+				pr, pi := phi.Re[base+k], phi.Im[base+k]
+				dst.Re[base+k] += scale * (pr*vr - pi*vi)
+				dst.Im[base+k] += scale * (pr*vi + pi*vr)
+			}
+		}
+	}
+}
+
+// ContractPairSlabWS is the two-sided symmetric pair contraction: one
+// Poisson solve of v = Poisson[conj(phiI) ⊙ phiJ] with BOTH accumulations
+// of the conjugate-pair symmetry fused into the final inverse z pass:
+//
+//	accJ += scale * phiI ⊙ v
+//	accI += scale * phiJ ⊙ conj(v)   (skipped when diag)
+//
+// This is the (i, j) step of the symmetry-halved reference application;
+// fusing the second side saves the separate read-modify-write pass the
+// scalar path performs over the pair buffer.
+func (p *Plan3) ContractPairSlabWS(accI, accJ, phiI, phiJ, buf lanes.Slab, kernel []float64, scale float64, diag bool, ws *Workspace3) {
+	p.checkSlab(accJ, "accJ")
+	p.checkSlab(phiI, "phiI")
+	p.checkSlab(phiJ, "phiJ")
+	p.checkSlab(buf, "buf")
+	if !diag {
+		p.checkSlab(accI, "accI")
+	}
+	nz := p.nz
+	rows := p.nx * p.ny
+	lu := ws.lu.Slice(0, nz*lw)
+	lv := ws.lv.Slice(0, nz*lw)
+	for r0 := 0; r0 < rows; r0 += lw {
+		L := min(lw, rows-r0)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				pr, pi := phiI.Re[base+k], phiI.Im[base+k]
+				sr, si := phiJ.Re[base+k], phiJ.Im[base+k]
+				lu.Re[k*lw+l] = pr*sr + pi*si
+				lu.Im[k*lw+l] = pr*si - pi*sr
+			}
+		}
+		zeroTailLanes(lu, nz, L)
+		p.pz.transformLanes(lv, lu, false, ws.wsz)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				buf.Re[base+k] = lv.Re[k*lw+l]
+				buf.Im[base+k] = lv.Im[k*lw+l]
+			}
+		}
+	}
+	p.yPassSlab(buf, false, ws)
+	p.xPassKernelSlab(buf, kernel, ws)
+	p.yPassSlab(buf, true, ws)
+	for r0 := 0; r0 < rows; r0 += lw {
+		L := min(lw, rows-r0)
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				lu.Re[k*lw+l] = buf.Re[base+k]
+				lu.Im[k*lw+l] = buf.Im[base+k]
+			}
+		}
+		zeroTailLanes(lu, nz, L)
+		p.pz.transformLanes(lv, lu, true, ws.wsz)
+		if diag {
+			for l := 0; l < L; l++ {
+				base := (r0 + l) * nz
+				for k := 0; k < nz; k++ {
+					vr, vi := lv.Re[k*lw+l], lv.Im[k*lw+l]
+					pr, pi := phiI.Re[base+k], phiI.Im[base+k]
+					accJ.Re[base+k] += scale * (pr*vr - pi*vi)
+					accJ.Im[base+k] += scale * (pr*vi + pi*vr)
+				}
+			}
+			continue
+		}
+		for l := 0; l < L; l++ {
+			base := (r0 + l) * nz
+			for k := 0; k < nz; k++ {
+				vr, vi := lv.Re[k*lw+l], lv.Im[k*lw+l]
+				ir, ii := phiI.Re[base+k], phiI.Im[base+k]
+				jr, ji := phiJ.Re[base+k], phiJ.Im[base+k]
+				accJ.Re[base+k] += scale * (ir*vr - ii*vi)
+				accJ.Im[base+k] += scale * (ir*vi + ii*vr)
+				accI.Re[base+k] += scale * (jr*vr + ji*vi)
+				accI.Im[base+k] += scale * (ji*vr - jr*vi)
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"ptdft/internal/fourier"
+	"ptdft/internal/lanes"
 	"ptdft/internal/lattice"
 	"ptdft/internal/parallel"
 )
@@ -264,6 +265,37 @@ func (g *Grid) FromRealSerialWS(c []complex128, box []complex128, ws *fourier.Wo
 	scale := complex(math.Sqrt(g.Volume())/float64(g.NTot), 0)
 	for s, k := range g.SphereIdx {
 		c[s] = box[k] * scale
+	}
+}
+
+// ToRealSlabWS is ToRealSerialWS with the real-space box in the
+// lane-blocked SoA layout (internal/lanes): sphere coefficients scatter
+// straight into the split re/im arrays and the synthesis runs through the
+// slab FFT passes, so downstream SoA consumers (the Fock contraction) never
+// re-interleave.
+func (g *Grid) ToRealSlabWS(box lanes.Slab, c []complex128, ws *fourier.Workspace3) {
+	if box.Len() != g.NTot || len(c) != g.NG {
+		panic("grid: ToRealSlab buffer size mismatch")
+	}
+	box.Zero()
+	scale := 1 / math.Sqrt(g.Volume())
+	for s, k := range g.SphereIdx {
+		box.Re[k] = real(c[s]) * scale
+		box.Im[k] = imag(c[s]) * scale
+	}
+	g.Plan.RawSlabWS(box, box, true, ws)
+}
+
+// FromRealSlabWS is FromRealSerialWS over a SoA box. The box is consumed
+// (transformed in place).
+func (g *Grid) FromRealSlabWS(c []complex128, box lanes.Slab, ws *fourier.Workspace3) {
+	if box.Len() != g.NTot || len(c) != g.NG {
+		panic("grid: FromRealSlab buffer size mismatch")
+	}
+	g.Plan.RawSlabWS(box, box, false, ws)
+	scale := math.Sqrt(g.Volume()) / float64(g.NTot)
+	for s, k := range g.SphereIdx {
+		c[s] = complex(box.Re[k]*scale, box.Im[k]*scale)
 	}
 }
 

@@ -1,0 +1,34 @@
+#!/bin/sh
+# veccheck: compile the lane-blocked kernels (internal/lanes) with the
+# assembly listing enabled and report whether the compiler emitted packed
+# vector arithmetic (VADDPD / VMULPD / VFMADD*) on amd64. The lanes layout
+# is written so that a vectorizing backend CAN produce these - fixed-width
+# bounds-check-free inner loops over split re/im arrays - but the stock gc
+# compiler does not auto-vectorize, so on gc this check is expected to
+# report scalar code. CI runs it as a non-blocking step: the exit status is
+# advisory (0 = vector instructions found, 1 = none / not applicable), and
+# the value of the check is the listing diff when a toolchain that does
+# vectorize (gccgo -O3, a future gc with SIMD support) is pointed at it.
+# Run locally from the module root with: sh scripts/veccheck.sh
+set -u
+
+arch=$(go env GOARCH)
+if [ "$arch" != "amd64" ]; then
+	echo "veccheck: GOARCH=$arch, packed-double scan only defined for amd64; skipping"
+	exit 0
+fi
+
+asm=$(go build -gcflags=-S ./internal/lanes 2>&1) || {
+	echo "veccheck: compile failed:" >&2
+	echo "$asm" >&2
+	exit 1
+}
+
+hits=$(echo "$asm" | grep -cE 'VADDPD|VMULPD|VFMADD' || true)
+if [ "$hits" -gt 0 ]; then
+	echo "veccheck: $hits packed vector instructions (VADDPD/VMULPD/VFMADD) in internal/lanes"
+	exit 0
+fi
+echo "veccheck: no packed vector instructions in internal/lanes listing"
+echo "veccheck: expected under stock gc (no auto-vectorizer); the lane layout keeps the loops vectorizable for backends that do"
+exit 1
