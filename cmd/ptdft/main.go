@@ -14,127 +14,77 @@
 // count) plus a trace breakdown, and optionally a CSV file for plotting.
 // With -md each line is one ion step and the energy column is the
 // conserved total (electronic + ion kinetic + ion-ion).
+//
+// The simulation itself - spec validation, ground state, the four
+// propagation drivers - lives in internal/sim, shared with the ptdftd job
+// server; this command only parses flags, wires signals, and formats
+// output.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
-	"time"
 
 	"ptdft/internal/checkpoint"
-	"ptdft/internal/core"
 	"ptdft/internal/dist"
-	"ptdft/internal/grid"
-	"ptdft/internal/hamiltonian"
-	"ptdft/internal/ion"
-	"ptdft/internal/laser"
-	"ptdft/internal/lattice"
-	"ptdft/internal/mpi"
 	"ptdft/internal/observe"
-	"ptdft/internal/pseudo"
-	"ptdft/internal/scf"
+	"ptdft/internal/sim"
 	"ptdft/internal/trace"
-	"ptdft/internal/units"
-	"ptdft/internal/wavefunc"
-	"ptdft/internal/xc"
 )
 
+// config is the CLI layer around a sim.Spec: the spec describes the
+// simulation; the rest is presentation (CSV, quiet), persistence paths,
+// and runtime wiring (signals, test hooks).
 type config struct {
-	cells      [3]int
-	ecut       float64
-	hybrid     bool
-	useACE     bool
-	aceHold    bool
-	mts        int
-	method     string
-	dtAs       float64
-	steps      int
-	kick       float64
-	pulseE0    float64
-	ranks      int
-	seed       int64
-	csvPath    string
-	quiet      bool
-	strategy   string
-	exchange   dist.ExchangeStrategy
-	stealChunk int
-	single     bool
-	savePath   string
-	loadPath   string
-	ckptEvery  int
-
-	// Ehrenfest ion dynamics.
-	md           bool
-	ionSteps     int
-	ionDtAs      float64
-	displaceSpec string
-	displaceAtom int
-	displaceVec  [3]float64
-	hasDisplace  bool
+	spec      sim.Spec
+	csvPath   string
+	quiet     bool
+	savePath  string
+	loadPath  string
+	ckptEvery int
 
 	// Runtime wiring, not flags. stop is closed on SIGINT/SIGTERM (or by a
 	// test); the drivers finish the step in flight, checkpoint, and return.
 	// afterStep is a test hook observing each completed step (rank 0 in
-	// distributed runs). roll/natom are filled by run() when -ckptevery is
-	// active.
+	// distributed runs).
 	stop      chan struct{}
 	afterStep func(done int)
-	roll      *checkpoint.Rolling
-	natom     int64
 }
-
-// stopped reports whether a shutdown was requested (signal or test hook).
-func (c *config) stopped() bool {
-	if c.stop == nil {
-		return false
-	}
-	select {
-	case <-c.stop:
-		return true
-	default:
-		return false
-	}
-}
-
-// tagStop is the AllreduceSum tag (consumes tagStop and tagStop+1) for the
-// per-step shutdown vote: far above the dist tag namespace (fixed tags end
-// at 131; the exchange windows are 1<<10..1<<12 + band index).
-const tagStop = 9000
 
 func parseFlags() (*config, error) {
 	var c config
+	s := &c.spec
 	cellsStr := flag.String("cells", "1,1,1", "supercell repetitions nx,ny,nz (8 Si atoms per cell)")
-	flag.Float64Var(&c.ecut, "ecut", 4, "kinetic energy cutoff (Ha); the paper uses 10")
-	flag.BoolVar(&c.hybrid, "hybrid", false, "use the HSE-like hybrid functional (screened Fock exchange)")
-	flag.BoolVar(&c.useACE, "ace", false, "apply exchange through the ACE compression (serial and distributed runs)")
-	flag.BoolVar(&c.aceHold, "acehold", false, "hold the distributed ACE operator fixed through each step's inner SCF (Jia & Lin cadence; implies -ace; equals -mts 1)")
-	flag.IntVar(&c.mts, "mts", 0, "multiple time stepping: refresh the hybrid exchange every M steps, frozen in between (0 = off; requires -hybrid and -method ptcn)")
-	flag.StringVar(&c.method, "method", "ptcn", "time integrator: ptcn or rk4")
-	flag.Float64Var(&c.dtAs, "dt", 24, "time step in attoseconds (paper: 50 for PT-CN, 0.5 for RK4)")
-	flag.IntVar(&c.steps, "steps", 5, "number of propagation steps")
-	flag.Float64Var(&c.kick, "kick", 0.02, "delta-kick vector potential (au); 0 disables")
-	flag.Float64Var(&c.pulseE0, "pulse", 0, "380nm Gaussian pulse peak field (Ha/bohr); overrides -kick")
-	flag.IntVar(&c.ranks, "ranks", 0, "distribute over N goroutine-MPI ranks (0 = serial)")
-	flag.Int64Var(&c.seed, "seed", 1234, "ground-state starting guess seed")
+	flag.Float64Var(&s.Ecut, "ecut", 4, "kinetic energy cutoff (Ha); the paper uses 10")
+	flag.BoolVar(&s.Hybrid, "hybrid", false, "use the HSE-like hybrid functional (screened Fock exchange)")
+	flag.BoolVar(&s.ACE, "ace", false, "apply exchange through the ACE compression (serial and distributed runs)")
+	flag.BoolVar(&s.ACEHold, "acehold", false, "hold the distributed ACE operator fixed through each step's inner SCF (Jia & Lin cadence; implies -ace; equals -mts 1)")
+	flag.IntVar(&s.MTS, "mts", 0, "multiple time stepping: refresh the hybrid exchange every M steps, frozen in between (0 = off; requires -hybrid and -method ptcn)")
+	flag.StringVar(&s.Method, "method", "ptcn", "time integrator: ptcn or rk4")
+	flag.Float64Var(&s.DtAs, "dt", 24, "time step in attoseconds (paper: 50 for PT-CN, 0.5 for RK4)")
+	flag.IntVar(&s.Steps, "steps", 5, "number of propagation steps")
+	flag.Float64Var(&s.Kick, "kick", 0.02, "delta-kick vector potential (au); 0 disables")
+	flag.Float64Var(&s.PulseE0, "pulse", 0, "380nm Gaussian pulse peak field (Ha/bohr); overrides -kick")
+	flag.IntVar(&s.Ranks, "ranks", 0, "distribute over N goroutine-MPI ranks (0 = serial)")
+	flag.Int64Var(&s.Seed, "seed", 1234, "ground-state starting guess seed")
 	flag.StringVar(&c.csvPath, "csv", "", "write per-step observables to this CSV file")
 	flag.BoolVar(&c.quiet, "q", false, "suppress per-step output")
-	flag.StringVar(&c.strategy, "exchange", "overlap", "distributed exchange strategy: "+strings.Join(dist.StrategyNames(), ", "))
-	flag.IntVar(&c.stealChunk, "stealchunk", 0, "pairs per work-queue claim under -exchange steal (0 = auto)")
-	flag.BoolVar(&c.single, "singleprec", false, "single-precision MPI payloads (distributed runs)")
+	flag.StringVar(&s.Exchange, "exchange", "overlap", "distributed exchange strategy: "+strings.Join(dist.StrategyNames(), ", "))
+	flag.IntVar(&s.StealChunk, "stealchunk", 0, "pairs per work-queue claim under -exchange steal (0 = auto)")
+	flag.BoolVar(&s.SinglePrec, "singleprec", false, "single-precision MPI payloads (distributed runs)")
 	flag.StringVar(&c.savePath, "save", "", "write a restart checkpoint here after the last step")
 	flag.StringVar(&c.loadPath, "load", "", "resume from a checkpoint instead of the ground state")
 	flag.IntVar(&c.ckptEvery, "ckptevery", 0, "write a durable rolling checkpoint every N steps (ion steps with -md) to the -save path; 0 = final save only")
-	flag.BoolVar(&c.md, "md", false, "Ehrenfest ion dynamics: velocity-Verlet ions coupled to PT-CN electrons (Hellmann-Feynman forces)")
-	flag.IntVar(&c.ionSteps, "ionsteps", 10, "number of ion MD steps (with -md; replaces -steps as the trajectory length)")
-	flag.Float64Var(&c.ionDtAs, "iondt", 96, "ion time step in attoseconds (with -md); must be an integer multiple of -dt")
-	flag.StringVar(&c.displaceSpec, "displace", "", "displace one atom before the ground state: i:dx,dy,dz (Bohr), e.g. 0:0.2,0,0")
+	flag.BoolVar(&s.MD, "md", false, "Ehrenfest ion dynamics: velocity-Verlet ions coupled to PT-CN electrons (Hellmann-Feynman forces)")
+	flag.IntVar(&s.IonSteps, "ionsteps", 10, "number of ion MD steps (with -md; replaces -steps as the trajectory length)")
+	flag.Float64Var(&s.IonDtAs, "iondt", 96, "ion time step in attoseconds (with -md); must be an integer multiple of -dt")
+	flag.StringVar(&s.Displace, "displace", "", "displace one atom before the ground state: i:dx,dy,dz (Bohr), e.g. 0:0.2,0,0")
 	flag.Parse()
 	parts := strings.Split(*cellsStr, ",")
 	if len(parts) != 3 {
@@ -145,70 +95,16 @@ func parseFlags() (*config, error) {
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("bad cell count %q", p)
 		}
-		c.cells[i] = v
+		s.Cells[i] = v
 	}
-	if c.method != "ptcn" && c.method != "rk4" {
-		return nil, fmt.Errorf("unknown method %q", c.method)
-	}
-	// No silent flag drops: every exchange-operator request must reach a
-	// code path that honors it.
-	if c.aceHold {
-		c.useACE = true
-		if c.ranks <= 1 {
-			return nil, fmt.Errorf("-acehold is a distributed cadence (requires -ranks > 1); the serial ACE always rebuilds per refresh - for a serial hold use -mts 1")
-		}
-	}
-	if c.useACE && !c.hybrid {
-		return nil, fmt.Errorf("-ace selects the exchange operator of the hybrid functional; add -hybrid")
-	}
-	switch {
-	case c.mts < 0:
-		return nil, fmt.Errorf("-mts wants a refresh period >= 1 (or 0 to disable), got %d", c.mts)
-	case c.mts > 0 && !c.hybrid:
-		return nil, fmt.Errorf("-mts freezes the hybrid exchange between outer steps; it needs -hybrid")
-	case c.mts > 0 && c.method != "ptcn":
-		return nil, fmt.Errorf("-mts is a PT-CN refresh cadence; -method %s does not support it", c.method)
-	case c.mts > 1 && c.aceHold:
-		return nil, fmt.Errorf("-acehold is exactly -mts 1; it cannot combine with -mts %d - pick one cadence", c.mts)
-	}
-	// Ion dynamics composes with PT-CN only (the ion step is defined as K
-	// electronic PT-CN steps), and the ion step must tile exactly into
-	// electronic steps.
-	if c.md {
-		if c.method != "ptcn" {
-			return nil, fmt.Errorf("-md couples the ions to the PT-CN propagator; -method %s does not support it", c.method)
-		}
-		if c.ionSteps < 1 {
-			return nil, fmt.Errorf("-ionsteps wants at least 1, got %d", c.ionSteps)
-		}
-		if c.dtAs <= 0 || c.ionDtAs <= 0 {
-			return nil, fmt.Errorf("-md wants positive time steps, got -dt %g and -iondt %g", c.dtAs, c.ionDtAs)
-		}
-		k := c.ionDtAs / c.dtAs
-		if k < 0.5 || math.Abs(k-math.Round(k)) > 1e-9*k {
-			return nil, fmt.Errorf("-iondt %g as is not an integer multiple of -dt %g as (each ion step spans K electronic steps)", c.ionDtAs, c.dtAs)
-		}
-	}
-	if c.displaceSpec != "" {
-		var err error
-		c.displaceAtom, c.displaceVec, err = parseDisplace(c.displaceSpec)
-		if err != nil {
-			return nil, err
-		}
-		c.hasDisplace = true
-	}
-	// Resolve the exchange strategy up front so a typo fails before the
-	// ground-state SCF runs, not after.
-	var err error
-	if c.exchange, err = dist.ParseStrategy(c.strategy); err != nil {
+	// The full simulation rule set (exchange cadences, MD tiling, strategy
+	// names) lives with the spec, so a typo fails before the ground-state
+	// SCF runs, not after.
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if c.stealChunk < 0 {
-		return nil, fmt.Errorf("-stealchunk wants a positive chunk size (or 0 for auto), got %d", c.stealChunk)
-	}
-	if c.stealChunk > 0 && c.exchange != dist.Steal {
-		return nil, fmt.Errorf("-stealchunk tunes the work-queue granularity of -exchange steal; it does nothing under -exchange %s", c.strategy)
-	}
+	// Persistence rules are CLI concerns: the spec does not know about
+	// checkpoint paths.
 	if c.ckptEvery < 0 {
 		return nil, fmt.Errorf("-ckptevery wants a cadence >= 1 (or 0 for a final save only), got %d", c.ckptEvery)
 	}
@@ -216,32 +112,6 @@ func parseFlags() (*config, error) {
 		return nil, fmt.Errorf("-ckptevery writes rolling checkpoints to the -save path; add -save")
 	}
 	return &c, nil
-}
-
-// ionSubsteps returns K, the electronic PT-CN steps per ion step.
-func (c *config) ionSubsteps() int { return int(math.Round(c.ionDtAs / c.dtAs)) }
-
-// parseDisplace parses the -displace argument i:dx,dy,dz.
-func parseDisplace(s string) (int, [3]float64, error) {
-	var vec [3]float64
-	head, tail, ok := strings.Cut(s, ":")
-	if !ok {
-		return 0, vec, fmt.Errorf("-displace wants i:dx,dy,dz, got %q", s)
-	}
-	atom, err := strconv.Atoi(strings.TrimSpace(head))
-	if err != nil || atom < 0 {
-		return 0, vec, fmt.Errorf("-displace: bad atom index %q", head)
-	}
-	parts := strings.Split(tail, ",")
-	if len(parts) != 3 {
-		return 0, vec, fmt.Errorf("-displace wants three components, got %q", tail)
-	}
-	for i, p := range parts {
-		if vec[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
-			return 0, vec, fmt.Errorf("-displace: bad component %q", p)
-		}
-	}
-	return atom, vec, nil
 }
 
 func main() {
@@ -268,169 +138,70 @@ func main() {
 	}
 }
 
-type stepRecord struct {
-	timeFs   float64
-	energy   float64
-	currentZ float64
-	excited  float64
-	scfIters int
-	wallSec  float64
-}
-
 func run(cfg *config) error {
-	cell, err := lattice.SiliconSupercell(cfg.cells[0], cfg.cells[1], cfg.cells[2])
-	if err != nil {
-		return err
-	}
-	if cfg.hasDisplace {
-		if err := cell.DisplaceAtom(cfg.displaceAtom, cfg.displaceVec); err != nil {
-			return err
-		}
-		fmt.Printf("displaced atom %d by (%g, %g, %g) Bohr\n", cfg.displaceAtom,
-			cfg.displaceVec[0], cfg.displaceVec[1], cfg.displaceVec[2])
-	}
-	g, err := grid.New(cell, cfg.ecut)
-	if err != nil {
-		return err
-	}
-	nb := cell.NumBands()
-	fmt.Printf("system: Si%d  (%dx%dx%d cells), Ecut %.1f Ha\n", cell.NumAtoms(), cfg.cells[0], cfg.cells[1], cfg.cells[2], cfg.ecut)
-	fmt.Printf("grid: wavefunction %v (NG=%d sphere), density %v; bands %d\n", g.N, g.NG, g.ND, nb)
-
+	spec := &cfg.spec
 	prof := trace.New()
-	pots := sipots()
-	hcfg := hamiltonian.Config{Hybrid: cfg.hybrid, UseACE: cfg.useACE, Params: xc.HSE06(), IonDynamics: cfg.md}
-	h := hamiltonian.New(g, pots, hcfg)
 
-	// Ground state.
-	opt := scf.Defaults()
-	opt.Seed = cfg.seed
-	var gs *scf.Result
-	prof.Time("ground state SCF", func() {
-		gs, err = scf.GroundState(g, h, nb, opt)
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("ground state: E = %.8f Ha (%d SCF iterations, density err %.2e)\n",
-		gs.Energy.Total(), gs.SCFIterations, gs.DensityError)
-
-	var field laser.Field
-	switch {
-	case cfg.pulseE0 != 0:
-		sigma := units.AttosecondsToAU(cfg.dtAs) * float64(cfg.steps) / 4
-		field = laser.New380nm(cfg.pulseE0, 2*sigma, sigma)
-		fmt.Printf("field: 380nm pulse, E0=%.4g Ha/bohr\n", cfg.pulseE0)
-	case cfg.kick != 0:
-		field = &laser.Kick{K: cfg.kick, Pol: [3]float64{0, 0, 1}}
-		fmt.Printf("field: delta kick A=%.4g au along z\n", cfg.kick)
-	}
-
-	// Resume from a checkpoint when requested; otherwise start from the
-	// freshly converged ground state.
-	psiStart := gs.Psi
-	t0 := 0.0
 	var loaded *checkpoint.State
 	if cfg.loadPath != "" {
 		st, err := checkpoint.LoadFile(cfg.loadPath)
 		if err != nil {
 			return err
 		}
-		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), cfg.ecut, cfg.hybrid, cfg.mts, cfg.useACE, cfg.md); err != nil {
-			return err
-		}
 		loaded = st
-		psiStart = st.Psi
-		t0 = st.Time
-		fmt.Printf("resumed from %s at t = %.2f as (step %d)\n", cfg.loadPath, units.AUToAttoseconds(st.Time), st.Step)
+		fmt.Printf("loaded checkpoint %s\n", cfg.loadPath)
 	}
-
-	cfg.natom = int64(cell.NumAtoms())
+	var roll *checkpoint.Rolling
 	if cfg.ckptEvery > 0 {
-		cfg.roll = &checkpoint.Rolling{Base: cfg.savePath}
+		roll = &checkpoint.Rolling{Base: cfg.savePath}
 		unit := "steps"
-		if cfg.md {
+		if spec.MD {
 			unit = "ion steps"
 		}
 		fmt.Printf("durable checkpoints: every %d %s to %s (rolling, last-good link)\n", cfg.ckptEvery, unit, cfg.savePath)
 	}
 
-	dt := units.AttosecondsToAU(cfg.dtAs)
-	var records []stepRecord
-	var psiFinal []complex128
-	var tFinal float64
-	var mts mtsSnapshot
-	var ions ionSnapshot
-	switch {
-	case cfg.md && cfg.ranks > 1:
-		records, psiFinal, tFinal, mts, ions, err = runDistributedMD(cfg, cell, g, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
-	case cfg.md:
-		records, psiFinal, tFinal, mts, ions, err = runSerialMD(cfg, cell, g, h, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
-	case cfg.ranks > 1:
-		records, psiFinal, tFinal, mts, err = runDistributed(cfg, g, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
-	default:
-		records, psiFinal, tFinal, mts, err = runSerial(cfg, g, h, gs.Psi, psiStart, nb, field, dt, t0, loaded, prof)
+	stepLabel := "propagation step"
+	if spec.MD {
+		stepLabel = "ion step"
 	}
+	res, err := sim.Run(spec, sim.Options{
+		Stop:      cfg.stop,
+		AfterStep: cfg.afterStep,
+		OnSample:  func(s observe.Sample) { prof.Add(stepLabel, s.WallSec) },
+		Resume:    loaded,
+		Ckpt:      roll,
+		CkptEvery: cfg.ckptEvery,
+		SavePath:  cfg.savePath,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	if cfg.md && len(records) > 0 {
-		var drift float64
-		for _, r := range records {
-			if d := math.Abs(r.energy - ions.e0); d > drift {
-				drift = d
-			}
-		}
-		fmt.Printf("ehrenfest: %d ion steps of %g as (K=%d electronic steps each); max total-energy drift %.3e Ha\n",
-			cfg.ionSteps, cfg.ionDtAs, cfg.ionSubsteps(), drift)
-	}
+	prof.Add("ground state SCF", res.GroundWallSec)
 
 	if !cfg.quiet {
 		fmt.Printf("\n%10s %16s %14s %10s %6s %10s\n", "t (fs)", "E (Ha)", "J_z (au)", "n_exc", "SCF", "wall (s)")
-		for _, r := range records {
-			fmt.Printf("%10.5f %16.8f %14.4e %10.5f %6d %10.3f\n", r.timeFs, r.energy, r.currentZ, r.excited, r.scfIters, r.wallSec)
+		for _, s := range res.Samples {
+			fmt.Printf("%10.5f %16.8f %14.4e %10.5f %6d %10.3f\n", s.TimeFs, s.Energy, s.CurrentZ, s.Excited, s.SCFIters, s.WallSec)
 		}
 	}
 
-	// The drivers return one record per completed step, so a run stopped
+	// The drivers return one sample per completed step, so a run stopped
 	// early by a signal checkpoints the steps that actually ran.
-	if cfg.stopped() {
-		total := cfg.steps
-		if cfg.md {
-			total = cfg.ionSteps
-		}
-		fmt.Printf("interrupted: stopped after %d of %d steps; the checkpoint covers the completed steps\n", len(records), total)
+	if res.Stopped {
+		fmt.Printf("interrupted: stopped after %d of %d steps; the checkpoint covers the completed steps\n",
+			len(res.Samples), spec.TotalSteps())
 	}
 	if cfg.savePath != "" {
-		// The step counter is cumulative provenance: a resumed segment
-		// saves loaded.Step + its own steps, so a 600-step run split
-		// across allocations reports the true global step on every file.
-		// Under MTS the cadence phase (and, mid-cycle, the frozen exchange
-		// reference) rides along so the next segment lands on the correct
-		// outer/inner step with the identical frozen operator.
-		elSteps := len(records)
-		if cfg.md {
-			elSteps = len(records) * cfg.ionSubsteps()
-		}
-		st := cfg.segmentState(g, nb, tFinal, psiFinal, loaded, elSteps, mts.phase, mts.phiRef)
-		if cfg.md {
-			st.IonSteps = checkpoint.ContinuationIonSteps(loaded, len(records))
-			st.IonPos, st.IonVel, st.IonForce = ions.pos, ions.vel, ions.force
-		}
-		if cfg.roll != nil {
-			err = cfg.roll.Save(st)
-		} else {
-			err = checkpoint.SaveFile(cfg.savePath, st)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Printf("checkpoint written to %s (step %d)\n", cfg.savePath, st.Step)
+		fmt.Printf("checkpoint written to %s (step %d)\n", cfg.savePath, res.Final.Step)
 	}
 	fmt.Println()
 	prof.Report(os.Stdout)
 	if cfg.csvPath != "" {
-		if err := writeCSV(cfg.csvPath, records); err != nil {
+		if err := writeCSV(cfg.csvPath, res.Samples); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", cfg.csvPath)
@@ -438,571 +209,7 @@ func run(cfg *config) error {
 	return nil
 }
 
-// segmentState assembles the restartable state after elDone completed
-// electronic steps of this segment (MD callers add the ion block).
-func (c *config) segmentState(g *grid.Grid, nb int, t float64, psi []complex128, loaded *checkpoint.State, elDone, phase int, phiRef []complex128) *checkpoint.State {
-	return &checkpoint.State{
-		Time: t, Step: checkpoint.ContinuationStep(loaded, elDone), NBands: nb, NG: g.NG,
-		Natom: c.natom, Ecut: c.ecut, Hybrid: c.hybrid, Psi: psi,
-		MTSPeriod: int64(c.mts), MTSPhase: int64(phase), MTSACE: c.useACE && c.mts > 0,
-		PhiRef: phiRef,
-	}
-}
-
-// mtsSnapshot carries the MTS cadence state out of a propagation for
-// checkpointing: the cycle phase at the end of the run and - mid-cycle
-// only - the frozen exchange reference of the last outer step.
-type mtsSnapshot struct {
-	phase  int
-	phiRef []complex128
-}
-
-func runSerial(cfg *config, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, error) {
-	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: field}
-	psi := wavefunc.Clone(psi0)
-	var records []stepRecord
-	var snap mtsSnapshot
-	var stepFn func([]complex128, float64) ([]complex128, core.StepStats, error)
-	var now func() float64
-	var pt *core.PTCN
-	switch cfg.method {
-	case "ptcn":
-		pt = core.NewPTCN(sys, core.DefaultPTCN())
-		pt.Time = t0
-		pt.MTS = cfg.mts
-		if loaded != nil {
-			if err := pt.ResumeMTS(int(loaded.MTSPhase), loaded.PhiRef); err != nil {
-				return nil, nil, 0, snap, err
-			}
-		}
-		stepFn, now = pt.Step, func() float64 { return pt.Time }
-	case "rk4":
-		r := core.NewRK4(sys)
-		r.Time = t0
-		stepFn, now = r.Step, func() float64 { return r.Time }
-	}
-	for i := 0; i < cfg.steps; i++ {
-		start := time.Now()
-		var stats core.StepStats
-		var err error
-		psi, stats, err = stepFn(psi, dt)
-		if err != nil {
-			return nil, nil, 0, snap, fmt.Errorf("step %d: %w", i, err)
-		}
-		wall := time.Since(start).Seconds()
-		prof.Add("propagation step", wall)
-		eb := observe.Energy(sys, psi, now())
-		j := observe.Current(sys, psi)
-		records = append(records, stepRecord{
-			timeFs:   now() * units.FemtosecondPerAU,
-			energy:   eb.Total(),
-			currentZ: j[2],
-			excited:  observe.ExcitedElectrons(sys, psiGS, psi),
-			scfIters: stats.SCFIterations,
-			wallSec:  wall,
-		})
-		done := i + 1
-		if cfg.afterStep != nil {
-			cfg.afterStep(done)
-		}
-		if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.steps {
-			phase := 0
-			var ref []complex128
-			if pt != nil && cfg.mts > 0 {
-				if phase = pt.MTSPhase(); phase != 0 {
-					ref = wavefunc.Clone(pt.MTSRef())
-				}
-			}
-			st := cfg.segmentState(g, nb, now(), wavefunc.Clone(psi), loaded, done, phase, ref)
-			if err := cfg.roll.Save(st); err != nil {
-				return nil, nil, 0, snap, fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
-			}
-		}
-		if cfg.stopped() {
-			break
-		}
-	}
-	// Report which exchange operator actually propagated the run: a
-	// degenerate reference set downgrades an -ace refresh to the exact
-	// operator, and that must never stay invisible.
-	if cfg.hybrid && cfg.useACE {
-		if n, lastErr := h.ACEFallbacks(); n > 0 {
-			fmt.Printf("exchange operator: ACE with %d refresh(es) fallen back to exact exchange (last failure: %v)\n", n, lastErr)
-		} else {
-			fmt.Println("exchange operator: ACE (no fallbacks)")
-		}
-	}
-	if pt != nil && cfg.mts > 0 {
-		snap.phase = pt.MTSPhase()
-		if snap.phase != 0 && cfg.savePath != "" {
-			// The frozen-reference copy only matters to a checkpoint.
-			snap.phiRef = wavefunc.Clone(pt.MTSRef())
-		}
-		fmt.Printf("MTS cadence: exchange refreshed every %d steps (ended at cycle phase %d)\n", cfg.mts, snap.phase)
-	}
-	return records, psi, now(), snap, nil
-}
-
-func runDistributed(cfg *config, g *grid.Grid, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, error) {
-	var snap mtsSnapshot
-	if cfg.method != "ptcn" {
-		return nil, nil, 0, snap, fmt.Errorf("distributed runs support -method ptcn only")
-	}
-	if nb%cfg.ranks != 0 {
-		return nil, nil, 0, snap, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
-	}
-	exOpt := dist.ExchangeOptions{
-		Strategy:          cfg.exchange,
-		SinglePrecision:   cfg.single,
-		ACE:               cfg.useACE,
-		ACEHoldThroughSCF: cfg.aceHold,
-		MTSPeriod:         cfg.mts,
-		StealChunk:        cfg.stealChunk,
-	}
-	op := "none (semi-local)"
-	switch {
-	case cfg.hybrid && cfg.mts > 0 && cfg.useACE:
-		op = fmt.Sprintf("ACE frozen between outer steps (MTS M=%d)", cfg.mts)
-	case cfg.hybrid && cfg.mts > 0:
-		op = fmt.Sprintf("exact exchange frozen between outer steps (MTS M=%d)", cfg.mts)
-	case cfg.hybrid && cfg.aceHold:
-		op = "ACE (held through inner SCF)"
-	case cfg.hybrid && cfg.useACE:
-		op = "ACE (rebuilt per refresh)"
-	case cfg.hybrid:
-		op = "exact exchange"
-	}
-	fmt.Printf("distributed: %d ranks, exchange strategy %v, operator %s, single precision %v\n", cfg.ranks, cfg.exchange, op, cfg.single)
-
-	records := make([]stepRecord, cfg.steps)
-	psiFinal := make([]complex128, nb*g.NG)
-	var tFinal float64
-	var firstErr, saveErr error
-	doneSteps := 0
-	stats := mpi.Run(cfg.ranks, func(c *mpi.Comm) {
-		d, err := dist.NewCtx(c, g, nb, 2)
-		if err != nil {
-			if c.Rank() == 0 {
-				firstErr = err
-			}
-			return
-		}
-		h := hamiltonian.New(g, sipots(), hamiltonian.Config{})
-		s := dist.NewPTCNSolver(d, h, xc.HSE06(), cfg.hybrid, field, core.DefaultPTCN(), exOpt)
-		s.Time = t0
-		lo, hi := d.BandRange(c.Rank())
-		local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
-		if loaded != nil {
-			// Land on the saved cycle phase; mid-cycle the frozen exchange
-			// reference of the last outer step is restored (and the
-			// compressed operator reconstructed from it, collectively).
-			var ref []complex128
-			if loaded.PhiRef != nil {
-				ref = loaded.PhiRef[lo*g.NG : hi*g.NG]
-			}
-			if err := s.ResumeMTS(int(loaded.MTSPhase), ref); err != nil {
-				if c.Rank() == 0 {
-					firstErr = err
-				}
-				return
-			}
-		}
-		for i := 0; i < cfg.steps; i++ {
-			start := time.Now()
-			var st core.StepStats
-			local, st, err = s.Step(local, dt)
-			if err != nil {
-				// Convergence failures are symmetric across ranks (the
-				// density criterion is global), so every rank exits here
-				// together and no collective is left half-entered.
-				if c.Rank() == 0 {
-					firstErr = fmt.Errorf("step %d: %w", i, err)
-				}
-				return
-			}
-			// Match runSerial's accounting: the wall clock covers the
-			// step only, not the observable evaluations after it.
-			wall := time.Since(start).Seconds()
-			eb := s.TotalEnergy(local, s.Time)
-			j := s.Current(local)
-			nexc := s.ExcitedElectrons(psiGS, local)
-			done := i + 1
-			if c.Rank() == 0 {
-				records[i] = stepRecord{
-					timeFs:   s.Time * units.FemtosecondPerAU,
-					energy:   eb.Total(),
-					currentZ: j[2],
-					excited:  nexc,
-					scfIters: st.SCFIterations,
-					wallSec:  wall,
-				}
-				prof.Add("propagation step", wall)
-				doneSteps = done
-				if cfg.afterStep != nil {
-					cfg.afterStep(done)
-				}
-			}
-			// Periodic durable checkpoint: the cadence test is on the shared
-			// step counter, so every rank enters the gathers together. A
-			// failed save must not abort mid-collective (the other ranks
-			// would hang); it is recorded and reported after the run.
-			if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.steps {
-				phase := 0
-				if cfg.mts > 0 {
-					phase = s.MTSPhase()
-				}
-				full := d.Gather(local)
-				var ref []complex128
-				if phase != 0 {
-					refFull := d.Gather(s.MTSRef())
-					if c.Rank() == 0 {
-						ref = wavefunc.Clone(refFull)
-					}
-				}
-				if c.Rank() == 0 {
-					st := cfg.segmentState(g, nb, s.Time, wavefunc.Clone(full), loaded, done, phase, ref)
-					if err := cfg.roll.Save(st); err != nil && saveErr == nil {
-						saveErr = fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
-					}
-				}
-			}
-			// Shutdown vote: only rank 0 sees the signal flag; the sum makes
-			// the break rank-symmetric so no collective is left half-entered.
-			stopFlag := []float64{0}
-			if c.Rank() == 0 && cfg.stopped() {
-				stopFlag[0] = 1
-			}
-			mpi.AllreduceSum(c, tagStop, stopFlag)
-			if stopFlag[0] != 0 {
-				break
-			}
-		}
-		full := d.Gather(local)
-		if c.Rank() == 0 {
-			copy(psiFinal, full)
-			tFinal = s.Time
-		}
-		if cfg.mts > 0 {
-			// The phase and the save path are rank-symmetric, so the
-			// gather decision is a collective-safe branch; only mid-cycle
-			// saves need the frozen reference on the wire at all.
-			phase := s.MTSPhase()
-			if c.Rank() == 0 {
-				snap.phase = phase
-			}
-			if phase != 0 && cfg.savePath != "" {
-				ref := d.Gather(s.MTSRef())
-				if c.Rank() == 0 {
-					snap.phiRef = wavefunc.Clone(ref)
-				}
-			}
-		}
-	})
-	if firstErr != nil {
-		return nil, nil, 0, snap, firstErr
-	}
-	if saveErr != nil {
-		return nil, nil, 0, snap, saveErr
-	}
-	fmt.Printf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB\n",
-		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
-		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
-	return records[:doneSteps], psiFinal, tFinal, snap, nil
-}
-
-// ionSnapshot carries the Ehrenfest ion state out of a propagation for
-// checkpointing: positions, velocities and the cached force after the last
-// completed ion step.
-type ionSnapshot struct {
-	pos, vel, force [][3]float64
-	e0              float64 // conserved total before the first recorded step
-}
-
-// snapshotIons captures the integrator's restartable state.
-func snapshotIons(v *ion.Verlet) ionSnapshot {
-	return ionSnapshot{
-		pos:   v.Cell.Positions(),
-		vel:   append([][3]float64(nil), v.Vel...),
-		force: append([][3]float64(nil), v.F...),
-	}
-}
-
-// runSerialMD drives the coupled Ehrenfest system serially: a velocity-
-// Verlet ion integrator over the cell, with core.PTCN advancing the
-// electrons K steps per ion step. The recorded energy is the conserved
-// total (electronic + ion kinetic + ion-ion).
-func runSerialMD(cfg *config, cell *lattice.Cell, g *grid.Grid, h *hamiltonian.Hamiltonian, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, ionSnapshot, error) {
-	var snap mtsSnapshot
-	var ionsnap ionSnapshot
-	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: field}
-	pt := core.NewPTCN(sys, core.DefaultPTCN())
-	pt.Time = t0
-	pt.MTS = cfg.mts
-	if loaded != nil {
-		if err := pt.ResumeMTS(int(loaded.MTSPhase), loaded.PhiRef); err != nil {
-			return nil, nil, 0, snap, ionsnap, err
-		}
-	}
-	se := &ion.SerialElectrons{P: pt, Psi: wavefunc.Clone(psi0), Pots: sipots()}
-	v, err := ion.NewVerlet(cell, se, units.AttosecondsToAU(cfg.ionDtAs), cfg.ionSubsteps())
-	if err != nil {
-		return nil, nil, 0, snap, ionsnap, err
-	}
-	if loaded != nil && loaded.HasIons() {
-		if err := v.Resume(loaded.IonPos, loaded.IonVel, loaded.IonForce, int(loaded.IonSteps)); err != nil {
-			return nil, nil, 0, snap, ionsnap, err
-		}
-	}
-	// The drift baseline is the conserved total BEFORE any ion step: the
-	// first step is the largest for a released atom and must not hide its
-	// own error. (This also fills the initial force cache.)
-	e0, err := v.TotalEnergy()
-	if err != nil {
-		return nil, nil, 0, snap, ionsnap, err
-	}
-	ionsnap.e0 = e0
-	var records []stepRecord
-	for i := 0; i < cfg.ionSteps; i++ {
-		start := time.Now()
-		se.SCF = 0
-		if err := v.Step(); err != nil {
-			return nil, nil, 0, snap, ionsnap, fmt.Errorf("ion step %d: %w", i, err)
-		}
-		wall := time.Since(start).Seconds()
-		prof.Add("ion step", wall)
-		etot, err := v.TotalEnergy()
-		if err != nil {
-			return nil, nil, 0, snap, ionsnap, err
-		}
-		j := observe.Current(sys, se.Psi)
-		records = append(records, stepRecord{
-			timeFs:   pt.Time * units.FemtosecondPerAU,
-			energy:   etot,
-			currentZ: j[2],
-			excited:  observe.ExcitedElectrons(sys, psiGS, se.Psi),
-			scfIters: se.SCF,
-			wallSec:  wall,
-		})
-		done := i + 1
-		if cfg.afterStep != nil {
-			cfg.afterStep(done)
-		}
-		if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.ionSteps {
-			phase := 0
-			var ref []complex128
-			if cfg.mts > 0 {
-				if phase = pt.MTSPhase(); phase != 0 {
-					ref = wavefunc.Clone(pt.MTSRef())
-				}
-			}
-			st := cfg.segmentState(g, nb, pt.Time, wavefunc.Clone(se.Psi), loaded, done*cfg.ionSubsteps(), phase, ref)
-			st.IonSteps = checkpoint.ContinuationIonSteps(loaded, done)
-			is := snapshotIons(v)
-			st.IonPos, st.IonVel, st.IonForce = is.pos, is.vel, is.force
-			if err := cfg.roll.Save(st); err != nil {
-				return nil, nil, 0, snap, ionsnap, fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
-			}
-		}
-		if cfg.stopped() {
-			break
-		}
-	}
-	if cfg.mts > 0 {
-		snap.phase = pt.MTSPhase()
-		if snap.phase != 0 && cfg.savePath != "" {
-			snap.phiRef = wavefunc.Clone(pt.MTSRef())
-		}
-	}
-	e0 = ionsnap.e0
-	ionsnap = snapshotIons(v)
-	ionsnap.e0 = e0
-	return records, se.Psi, pt.Time, snap, ionsnap, nil
-}
-
-// runDistributedMD drives the coupled system over goroutine-MPI ranks.
-// Each rank owns a cloned cell and a grid/Hamiltonian built on it, and
-// integrates a replicated Verlet trajectory: the forces are allreduced in
-// deterministic rank order, so every replica is bit-identical and the
-// trajectory matches the serial driver to reduction round-off.
-func runDistributedMD(cfg *config, cell *lattice.Cell, g *grid.Grid, psiGS, psi0 []complex128, nb int, field laser.Field, dt, t0 float64, loaded *checkpoint.State, prof *trace.Profile) ([]stepRecord, []complex128, float64, mtsSnapshot, ionSnapshot, error) {
-	var snap mtsSnapshot
-	var ionsnap ionSnapshot
-	if nb%cfg.ranks != 0 {
-		return nil, nil, 0, snap, ionsnap, fmt.Errorf("%d bands not divisible by %d ranks", nb, cfg.ranks)
-	}
-	exOpt := dist.ExchangeOptions{
-		Strategy:          cfg.exchange,
-		SinglePrecision:   cfg.single,
-		ACE:               cfg.useACE,
-		ACEHoldThroughSCF: cfg.aceHold,
-		MTSPeriod:         cfg.mts,
-		StealChunk:        cfg.stealChunk,
-	}
-	fmt.Printf("distributed ehrenfest: %d ranks, %d ion steps x K=%d electronic steps\n", cfg.ranks, cfg.ionSteps, cfg.ionSubsteps())
-
-	records := make([]stepRecord, cfg.ionSteps)
-	psiFinal := make([]complex128, nb*g.NG)
-	var tFinal float64
-	var firstErr, saveErr error
-	doneSteps := 0
-	stats := mpi.Run(cfg.ranks, func(c *mpi.Comm) {
-		fail := func(err error) {
-			if c.Rank() == 0 {
-				firstErr = err
-			}
-		}
-		// Per-rank geometry: a cloned cell and a grid built on it, so the
-		// concurrent position updates of the replicated trajectories never
-		// touch shared memory.
-		cellR := cell.Clone()
-		gR, err := grid.New(cellR, cfg.ecut)
-		if err != nil {
-			fail(err)
-			return
-		}
-		d, err := dist.NewCtx(c, gR, nb, 2)
-		if err != nil {
-			fail(err)
-			return
-		}
-		h := hamiltonian.New(gR, sipots(), hamiltonian.Config{IonDynamics: true})
-		s := dist.NewPTCNSolver(d, h, xc.HSE06(), cfg.hybrid, field, core.DefaultPTCN(), exOpt)
-		s.Time = t0
-		lo, hi := d.BandRange(c.Rank())
-		de := &ion.DistElectrons{S: s, Local: wavefunc.Clone(psi0[lo*g.NG : hi*g.NG]), Pots: sipots()}
-		if loaded != nil {
-			var ref []complex128
-			if loaded.PhiRef != nil {
-				ref = loaded.PhiRef[lo*g.NG : hi*g.NG]
-			}
-			if err := s.ResumeMTS(int(loaded.MTSPhase), ref); err != nil {
-				fail(err)
-				return
-			}
-		}
-		v, err := ion.NewVerlet(cellR, de, units.AttosecondsToAU(cfg.ionDtAs), cfg.ionSubsteps())
-		if err != nil {
-			fail(err)
-			return
-		}
-		if loaded != nil && loaded.HasIons() {
-			if err := v.Resume(loaded.IonPos, loaded.IonVel, loaded.IonForce, int(loaded.IonSteps)); err != nil {
-				fail(err)
-				return
-			}
-		}
-		// Drift baseline before the first step, mirroring runSerialMD.
-		e0, err := v.TotalEnergy()
-		if err != nil {
-			fail(err)
-			return
-		}
-		for i := 0; i < cfg.ionSteps; i++ {
-			start := time.Now()
-			de.SCF = 0
-			if err := v.Step(); err != nil {
-				// PT-CN convergence failure is decided on the global
-				// density, so every rank exits here together.
-				fail(fmt.Errorf("ion step %d: %w", i, err))
-				return
-			}
-			wall := time.Since(start).Seconds()
-			etot, err := v.TotalEnergy()
-			if err != nil {
-				fail(err)
-				return
-			}
-			j := s.Current(de.Local)
-			nexc := s.ExcitedElectrons(psiGS, de.Local)
-			done := i + 1
-			if c.Rank() == 0 {
-				records[i] = stepRecord{
-					timeFs:   s.Time * units.FemtosecondPerAU,
-					energy:   etot,
-					currentZ: j[2],
-					excited:  nexc,
-					scfIters: de.SCF,
-					wallSec:  wall,
-				}
-				prof.Add("ion step", wall)
-				doneSteps = done
-				if cfg.afterStep != nil {
-					cfg.afterStep(done)
-				}
-			}
-			// Periodic durable checkpoint (same collective discipline and
-			// failure handling as runDistributed).
-			if cfg.roll != nil && done%cfg.ckptEvery == 0 && done < cfg.ionSteps {
-				phase := 0
-				if cfg.mts > 0 {
-					phase = s.MTSPhase()
-				}
-				full := d.Gather(de.Local)
-				var ref []complex128
-				if phase != 0 {
-					refFull := d.Gather(s.MTSRef())
-					if c.Rank() == 0 {
-						ref = wavefunc.Clone(refFull)
-					}
-				}
-				if c.Rank() == 0 {
-					st := cfg.segmentState(g, nb, s.Time, wavefunc.Clone(full), loaded, done*cfg.ionSubsteps(), phase, ref)
-					st.IonSteps = checkpoint.ContinuationIonSteps(loaded, done)
-					is := snapshotIons(v)
-					st.IonPos, st.IonVel, st.IonForce = is.pos, is.vel, is.force
-					if err := cfg.roll.Save(st); err != nil && saveErr == nil {
-						saveErr = fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
-					}
-				}
-			}
-			stopFlag := []float64{0}
-			if c.Rank() == 0 && cfg.stopped() {
-				stopFlag[0] = 1
-			}
-			mpi.AllreduceSum(c, tagStop, stopFlag)
-			if stopFlag[0] != 0 {
-				break
-			}
-		}
-		full := d.Gather(de.Local)
-		if c.Rank() == 0 {
-			copy(psiFinal, full)
-			tFinal = s.Time
-			ionsnap = snapshotIons(v)
-			ionsnap.e0 = e0
-		}
-		if cfg.mts > 0 {
-			phase := s.MTSPhase()
-			if c.Rank() == 0 {
-				snap.phase = phase
-			}
-			if phase != 0 && cfg.savePath != "" {
-				ref := d.Gather(s.MTSRef())
-				if c.Rank() == 0 {
-					snap.phiRef = wavefunc.Clone(ref)
-				}
-			}
-		}
-	})
-	if firstErr != nil {
-		return nil, nil, 0, snap, ionsnap, firstErr
-	}
-	if saveErr != nil {
-		return nil, nil, 0, snap, ionsnap, saveErr
-	}
-	fmt.Printf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB\n",
-		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
-		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
-	return records[:doneSteps], psiFinal, tFinal, snap, ionsnap, nil
-}
-
-func mb(b int64) float64 { return float64(b) / 1e6 }
-
-func sipots() map[int]*pseudo.Potential {
-	return map[int]*pseudo.Potential{0: pseudo.SiliconAH()}
-}
-
-func writeCSV(path string, records []stepRecord) error {
+func writeCSV(path string, samples []observe.Sample) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -1013,14 +220,14 @@ func writeCSV(path string, records []stepRecord) error {
 	if err := w.Write([]string{"time_fs", "energy_ha", "current_z", "excited_electrons", "scf_iterations", "wall_seconds"}); err != nil {
 		return err
 	}
-	for _, r := range records {
+	for _, s := range samples {
 		rec := []string{
-			strconv.FormatFloat(r.timeFs, 'g', 12, 64),
-			strconv.FormatFloat(r.energy, 'g', 14, 64),
-			strconv.FormatFloat(r.currentZ, 'g', 8, 64),
-			strconv.FormatFloat(r.excited, 'g', 8, 64),
-			strconv.Itoa(r.scfIters),
-			strconv.FormatFloat(r.wallSec, 'g', 6, 64),
+			strconv.FormatFloat(s.TimeFs, 'g', 12, 64),
+			strconv.FormatFloat(s.Energy, 'g', 14, 64),
+			strconv.FormatFloat(s.CurrentZ, 'g', 8, 64),
+			strconv.FormatFloat(s.Excited, 'g', 8, 64),
+			strconv.Itoa(s.SCFIters),
+			strconv.FormatFloat(s.WallSec, 'g', 6, 64),
 		}
 		if err := w.Write(rec); err != nil {
 			return err

@@ -9,7 +9,7 @@ import (
 	"testing"
 
 	"ptdft/internal/checkpoint"
-	"ptdft/internal/dist"
+	"ptdft/internal/sim"
 	"ptdft/internal/units"
 )
 
@@ -18,10 +18,13 @@ import (
 func testConfig(t *testing.T) *config {
 	t.Helper()
 	return &config{
-		cells: [3]int{1, 1, 1}, ecut: 2, method: "ptcn",
-		dtAs: 24, steps: 6, kick: 0.02, seed: 1234, quiet: true,
-		exchange: dist.BcastSequential,
-		stop:     make(chan struct{}),
+		spec: sim.Spec{
+			Cells: [3]int{1, 1, 1}, Ecut: 2, Method: "ptcn",
+			DtAs: 24, Steps: 6, Kick: 0.02, Seed: 1234,
+			Exchange: "bcast",
+		},
+		quiet: true,
+		stop:  make(chan struct{}),
 	}
 }
 
@@ -62,7 +65,7 @@ func TestCkptEveryWritesRollingSequence(t *testing.T) {
 // actually ran - not the requested count.
 func TestStopWritesFinalCheckpoint(t *testing.T) {
 	cfg := testConfig(t)
-	cfg.steps = 10
+	cfg.spec.Steps = 10
 	cfg.savePath = filepath.Join(t.TempDir(), "stop.ckp")
 	cfg.afterStep = func(done int) {
 		if done == 3 {
@@ -79,7 +82,7 @@ func TestStopWritesFinalCheckpoint(t *testing.T) {
 	if st.Step != 3 {
 		t.Errorf("checkpoint at step %d, want 3 (the completed steps)", st.Step)
 	}
-	wantT := 3 * units.AttosecondsToAU(cfg.dtAs)
+	wantT := 3 * units.AttosecondsToAU(cfg.spec.DtAs)
 	if d := st.Time - wantT; d > 1e-12 || d < -1e-12 {
 		t.Errorf("checkpoint time %g, want %g", st.Time, wantT)
 	}
@@ -90,8 +93,8 @@ func TestStopWritesFinalCheckpoint(t *testing.T) {
 // final checkpoint again reflects the completed steps.
 func TestStopDistributedIsSymmetric(t *testing.T) {
 	cfg := testConfig(t)
-	cfg.steps = 6
-	cfg.ranks = 2
+	cfg.spec.Steps = 6
+	cfg.spec.Ranks = 2
 	cfg.savePath = filepath.Join(t.TempDir(), "dstop.ckp")
 	cfg.ckptEvery = 2
 	cfg.afterStep = func(done int) {

@@ -86,6 +86,17 @@ func (rl *Rolling) stepFiles() []string {
 	return files
 }
 
+// Clean removes every file of the sequence: the step files and the
+// last-good symlink. The job server calls this when a job's trajectory is
+// complete and its result recorded - the checkpoints were only ever crash
+// insurance. Best-effort: missing files are not errors.
+func (rl *Rolling) Clean() {
+	for _, f := range rl.stepFiles() {
+		os.Remove(f)
+	}
+	os.Remove(rl.Base)
+}
+
 // Latest loads the newest good checkpoint of the sequence, returning the
 // state and the path it came from. The last-good symlink is tried first;
 // if it dangles or its target fails verification (a torn or corrupted

@@ -112,3 +112,30 @@ func TestRollingAdoptsPlainFile(t *testing.T) {
 		t.Errorf("plain-file adoption: step %d path %q", got.Step, path)
 	}
 }
+
+// TestRollingClean removes the whole sequence - step files and the
+// last-good link - and leaves nothing for Latest to find.
+func TestRollingClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := filepath.Join(t.TempDir(), "job.ckp")
+	rl := &Rolling{Base: base}
+	for _, step := range []int64{1, 2} {
+		s := sampleState(rng)
+		s.Step = step
+		if err := rl.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rl.Clean()
+	if files := rl.stepFiles(); len(files) != 0 {
+		t.Errorf("Clean left step files %v", files)
+	}
+	if _, err := os.Lstat(base); !os.IsNotExist(err) {
+		t.Error("Clean left the last-good link")
+	}
+	if _, _, err := rl.Latest(); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Latest after Clean: %v, want ErrNotExist", err)
+	}
+	// Clean on an already-empty sequence is a no-op, not an error.
+	rl.Clean()
+}

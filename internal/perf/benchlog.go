@@ -34,6 +34,10 @@ type BenchRecord struct {
 	NB int `json:"nb"`
 	// Workers is the parallel worker bound the benchmark ran under.
 	Workers int `json:"workers,omitempty"`
+	// Metrics carries benchmark-specific scalars beyond the wall time -
+	// the job server's load test records jobs/hour and p99 submit-to-done
+	// latency here. Keys are snake_case metric names.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchFile is the on-disk trajectory: a flat record list, kept sorted by

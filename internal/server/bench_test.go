@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptdft/internal/perf"
+)
+
+// BenchmarkServerFleet drives a synthetic client fleet against a real
+// ptdftd server: `fleetClients` concurrent clients submit short PT-CN
+// jobs over HTTP and poll each to completion. One op is one job through
+// submit -> queued -> running -> done. Beyond ns/op the run records the
+// service-level numbers into BENCH_server.json: jobs/hour and the p99
+// submit-to-done latency across the fleet. The seeds cycle through a
+// small pool of distinct physical systems, so the SCF cache sees the
+// realistic mix of cold solves and hits an ensemble produces.
+func BenchmarkServerFleet(b *testing.B) {
+	const (
+		fleetClients = 8
+		workers      = 4
+		seedPool     = 4
+	)
+	_, ts := startE2E(b, Config{Workers: workers})
+
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, b.N)
+	var next atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < fleetClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				spec := e2eSpec(3)
+				spec.Seed = 1000 + i%seedPool
+				t0 := time.Now()
+				v := submit(b, ts, spec)
+				waitHTTP(b, ts, v.ID, StateDone)
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	jobsPerHour := float64(b.N) / elapsed.Hours()
+	b.ReportMetric(jobsPerHour, "jobs/hour")
+	b.ReportMetric(p99.Seconds(), "p99-s")
+
+	spec := e2eSpec(3)
+	_, g, nb, err := spec.System()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := perf.RecordBench(perf.DefaultBenchPath("BENCH_server.json"), perf.BenchRecord{
+		Name:        "BenchmarkServerFleet",
+		Label:       perf.BenchLabel(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(b.N),
+		AllocsPerOp: -1,
+		Grid:        g.N,
+		NB:          nb,
+		Workers:     workers,
+		Metrics: map[string]float64{
+			"clients":                    fleetClients,
+			"jobs":                       float64(b.N),
+			"jobs_per_hour":              jobsPerHour,
+			"p50_submit_to_done_seconds": latencies[len(latencies)/2].Seconds(),
+			"p99_submit_to_done_seconds": p99.Seconds(),
+		},
+	}); err != nil {
+		b.Fatalf("recording trajectory: %v", err)
+	}
+}
+
+// TestBenchServerTrajectory pins the committed BENCH_server.json: the
+// pr9-server load-test record must exist with coherent service metrics -
+// a fleet of at least the 4-concurrent-job acceptance floor, a positive
+// throughput, and an ordered latency distribution.
+func TestBenchServerTrajectory(t *testing.T) {
+	bf, err := perf.LoadBench(perf.DefaultBenchPath("BENCH_server.json"))
+	if err != nil {
+		t.Fatalf("BENCH_server.json unreadable: %v", err)
+	}
+	rec, ok := bf.Find("BenchmarkServerFleet", "pr9-server")
+	if !ok {
+		t.Fatal("BenchmarkServerFleet/pr9-server record missing")
+	}
+	m := rec.Metrics
+	if m == nil {
+		t.Fatal("record carries no metrics map")
+	}
+	for _, key := range []string{"clients", "jobs", "jobs_per_hour", "p50_submit_to_done_seconds", "p99_submit_to_done_seconds"} {
+		if m[key] <= 0 {
+			t.Errorf("metric %s = %g, want > 0", key, m[key])
+		}
+	}
+	if m["clients"] < 4 {
+		t.Errorf("recorded fleet of %g clients, want >= 4 (the concurrency acceptance floor)", m["clients"])
+	}
+	if m["p99_submit_to_done_seconds"] < m["p50_submit_to_done_seconds"] {
+		t.Errorf("p99 %.3fs below p50 %.3fs - the distribution is incoherent",
+			m["p99_submit_to_done_seconds"], m["p50_submit_to_done_seconds"])
+	}
+	if rec.Workers < 1 || rec.NB < 1 {
+		t.Errorf("record missing system shape: workers=%d nb=%d", rec.Workers, rec.NB)
+	}
+	// Throughput and latency must agree to within the fleet's parallelism:
+	// jobs/hour cannot exceed clients * (3600 / p50).
+	maxRate := m["clients"] * 3600 / m["p50_submit_to_done_seconds"]
+	if m["jobs_per_hour"] > maxRate*1.05 {
+		t.Errorf("recorded %g jobs/hour exceeds the fleet's possible %g", m["jobs_per_hour"], maxRate)
+	}
+}

@@ -1,0 +1,140 @@
+// Job persistence: one <id>.json record per job in the server directory,
+// rewritten atomically on every lifecycle transition, plus the rolling
+// checkpoint sequence <id>.ckp* the simulation layer writes. Together
+// they make jobs durable across server restarts: on start the server
+// scans the directory, re-registers terminal jobs as history, and
+// re-queues every interrupted job with its newest loadable checkpoint as
+// the resume point.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ptdft/internal/observe"
+	"ptdft/internal/sim"
+)
+
+// record is the on-disk form of a job.
+type record struct {
+	ID          string           `json:"id"`
+	Spec        sim.Spec         `json:"spec"`
+	State       State            `json:"state"`
+	Error       string           `json:"error,omitempty"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	StartedAt   time.Time        `json:"started_at,omitzero"`
+	FinishedAt  time.Time        `json:"finished_at,omitzero"`
+	Metrics     Metrics          `json:"metrics"`
+	Samples     []observe.Sample `json:"samples,omitempty"`
+}
+
+func (s *Server) recordPath(id string) string { return filepath.Join(s.cfg.Dir, id+".json") }
+func (s *Server) ckptPath(id string) string   { return filepath.Join(s.cfg.Dir, id+".ckp") }
+
+// persist writes the job's current record (atomic rename). A no-op
+// without a server directory; a failed write is logged, not fatal - the
+// job still runs, it just will not survive a restart.
+func (s *Server) persist(j *Job) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	s.mu.Lock()
+	rec := record{
+		ID: j.ID, Spec: j.Spec, State: j.State, Error: j.Err,
+		SubmittedAt: j.SubmittedAt, StartedAt: j.StartedAt, FinishedAt: j.FinishedAt,
+		Metrics: j.Metrics,
+		Samples: j.Feed.Snapshot(),
+	}
+	s.mu.Unlock()
+	data, err := json.MarshalIndent(&rec, "", " ")
+	if err != nil {
+		s.logf("job %s: persist: %v", j.ID, err)
+		return
+	}
+	path := s.recordPath(j.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		s.logf("job %s: persist: %v", j.ID, err)
+	}
+}
+
+// adopt scans the server directory and re-registers every recorded job:
+// terminal jobs as queryable history, interrupted ones (queued, running,
+// preempted) back onto the queue with the newest loadable checkpoint as
+// their resume point. Queue order is submission order (sequential IDs).
+func (s *Server) adopt() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	matches, err := filepath.Glob(filepath.Join(s.cfg.Dir, "j*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var rec record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("server: corrupt job record %s: %w", path, err)
+		}
+		if rec.ID == "" || s.jobs[rec.ID] != nil {
+			return fmt.Errorf("server: bad or duplicate job record %s", path)
+		}
+		j := &Job{
+			ID: rec.ID, Spec: rec.Spec, State: rec.State, Err: rec.Error,
+			SubmittedAt: rec.SubmittedAt, StartedAt: rec.StartedAt, FinishedAt: rec.FinishedAt,
+			Metrics: rec.Metrics,
+			Feed:    observe.NewFeed(),
+			roll:    s.rollFor(rec.ID),
+		}
+		for _, smp := range rec.Samples {
+			j.Feed.Append(smp)
+		}
+		if n := idNumber(rec.ID); n > s.nextID {
+			s.nextID = n
+		}
+		if j.State.Terminal() {
+			j.Feed.Close()
+		} else {
+			// The process that ran this job is gone; whatever state it was
+			// in, it continues from its newest durable checkpoint (or from
+			// scratch if none was written).
+			if st, _, err := j.roll.Latest(); err == nil {
+				j.resume = st
+			}
+			j.State = StateQueued
+			s.queue = append(s.queue, j.ID)
+		}
+		s.jobs[j.ID] = j
+	}
+	if len(s.jobs) > 0 {
+		s.logf("adopted %d job record(s), %d requeued", len(s.jobs), len(s.queue))
+	}
+	return nil
+}
+
+// idNumber extracts the sequence number of a job ID ("j000042" -> 42).
+func idNumber(id string) int {
+	n := 0
+	for _, c := range strings.TrimPrefix(id, "j") {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ptdft/internal/checkpoint"
+	"ptdft/internal/observe"
+	"ptdft/internal/scf"
+	"ptdft/internal/sim"
+)
+
+// fakeSim is a stand-in simulation layer for pool tests: runs are
+// instant, gated, or blocking, so queue mechanics can be tested without
+// FFTs. Jobs are identified by their Seed.
+type fakeSim struct {
+	mu         sync.Mutex
+	running    int
+	maxRunning int
+	started    []int64       // seeds in run-start order
+	gate       chan struct{} // when non-nil, each run blocks here (or on Stop)
+}
+
+func (f *fakeSim) solve(spec *sim.Spec) (*scf.Result, error) {
+	return &scf.Result{}, nil
+}
+
+// run fakes one segment: per step, wait for the gate (if any) or a stop
+// request, then emit a sample. The resume contract matches sim.Run: the
+// spec's Steps is this segment's remainder, the checkpoint carries the
+// cumulative step.
+func (f *fakeSim) run(spec *sim.Spec, opt sim.Options) (*sim.Result, error) {
+	f.mu.Lock()
+	f.running++
+	if f.running > f.maxRunning {
+		f.maxRunning = f.running
+	}
+	f.started = append(f.started, spec.Seed)
+	gate := f.gate
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.running--
+		f.mu.Unlock()
+	}()
+	base := 0
+	if opt.Resume != nil {
+		base = int(opt.Resume.Step)
+	}
+	res := &sim.Result{Ground: &scf.Result{}}
+	done := 0
+	for i := 0; i < spec.Steps; i++ {
+		if gate != nil {
+			select {
+			case <-gate:
+			case <-opt.Stop:
+				res.Stopped = true
+			}
+		}
+		if res.Stopped {
+			break
+		}
+		done = i + 1
+		if opt.OnSample != nil {
+			opt.OnSample(observe.Sample{Step: base + done})
+		}
+	}
+	if opt.Stop != nil && !res.Stopped {
+		select {
+		case <-opt.Stop:
+			res.Stopped = true
+		default:
+		}
+	}
+	res.Final = &checkpoint.State{
+		Step: int64(base + done), NBands: 1, NG: 2, Natom: 1, Ecut: spec.Ecut,
+		Psi: []complex128{1, 2},
+	}
+	if opt.Ckpt != nil {
+		if err := opt.Ckpt.Save(res.Final); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// fakeSpec is a valid spec with the seed as job marker.
+func fakeSpec(seed int64, steps int) sim.Spec {
+	return sim.Spec{Cells: [3]int{1, 1, 1}, Ecut: 2, Steps: steps, Seed: seed}
+}
+
+// startFake builds a server over the fake layer without persistence.
+func startFake(t *testing.T, workers int, f *fakeSim) *Server {
+	t.Helper()
+	s, err := newServer(Config{Workers: workers}, f.run, f.solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.start()
+	return s
+}
+
+// waitState polls until the job reaches the state (the pool is asynchronous).
+func waitState(t *testing.T, s *Server, id string, want State) View {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.State == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, v.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolFIFO: with one worker, jobs run strictly in submission order.
+func TestPoolFIFO(t *testing.T) {
+	f := &fakeSim{}
+	s := startFake(t, 1, f)
+	defer s.Drain()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		v, err := s.Submit(fakeSpec(int64(i+1), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		waitState(t, s, id, StateDone)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, seed := range f.started {
+		if seed != int64(i+1) {
+			t.Fatalf("run order %v, want submission order", f.started)
+		}
+	}
+}
+
+// TestPoolBoundedConcurrency: no more than Workers simulations are ever
+// in flight, and the pool does reach that bound.
+func TestPoolBoundedConcurrency(t *testing.T) {
+	const workers, jobs = 3, 9
+	f := &fakeSim{gate: make(chan struct{})}
+	s := startFake(t, workers, f)
+	defer s.Drain()
+	var ids []string
+	for i := 0; i < jobs; i++ {
+		v, err := s.Submit(fakeSpec(int64(i+1), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	// Let the pool saturate, then release all steps.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f.mu.Lock()
+		r := f.running
+		f.mu.Unlock()
+		if r == workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: %d running, want %d", r, workers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(f.gate)
+	for _, id := range ids {
+		waitState(t, s, id, StateDone)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.maxRunning != workers {
+		t.Errorf("max concurrent runs %d, want exactly %d", f.maxRunning, workers)
+	}
+}
+
+// TestPoolDrain: a graceful drain checkpoints the running job after its
+// step in flight and leaves it preempted; queued jobs stay queued; every
+// worker exits.
+func TestPoolDrain(t *testing.T) {
+	f := &fakeSim{gate: make(chan struct{})}
+	s := startFake(t, 1, f)
+	running, err := s.Submit(fakeSpec(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(fakeSpec(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running.ID, StateRunning)
+	f.gate <- struct{}{} // let one step complete
+	f.gate <- struct{}{}
+	s.Drain() // returns only when the pool is stopped
+	v, _ := s.Get(running.ID)
+	if v.State != StatePreempted {
+		t.Errorf("running job drained to %s, want %s", v.State, StatePreempted)
+	}
+	if v.Metrics.StepsDone != 2 {
+		t.Errorf("drained job completed %d steps, want 2", v.Metrics.StepsDone)
+	}
+	if v.Metrics.Preemptions != 1 {
+		t.Errorf("drained job counts %d preemptions, want 1", v.Metrics.Preemptions)
+	}
+	q, _ := s.Get(queued.ID)
+	if q.State != StateQueued {
+		t.Errorf("queued job drained to %s, want %s", q.State, StateQueued)
+	}
+	if _, err := s.Submit(fakeSpec(3, 1)); err == nil {
+		t.Error("submission accepted during drain")
+	}
+}
+
+// TestPoolPreemptRequeuesAndResumes: preempting a running job checkpoints
+// it, puts it at the back of the queue, and the next attempt continues
+// from the checkpoint to completion.
+func TestPoolPreemptRequeuesAndResumes(t *testing.T) {
+	f := &fakeSim{gate: make(chan struct{})}
+	s := startFake(t, 1, f)
+	defer s.Drain()
+	v, err := s.Submit(fakeSpec(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, v.ID, StateRunning)
+	f.gate <- struct{}{}
+	f.gate <- struct{}{} // two steps done
+	if err := s.Preempt(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Unblock the remaining steps of both attempts.
+	go func() {
+		for {
+			select {
+			case f.gate <- struct{}{}:
+			case <-time.After(2 * time.Second):
+				return
+			}
+		}
+	}()
+	got := waitState(t, s, v.ID, StateDone)
+	if got.Metrics.Preemptions != 1 || got.Metrics.Resumes != 1 {
+		t.Errorf("metrics %+v, want 1 preemption and 1 resume", got.Metrics)
+	}
+	if got.Metrics.StepsDone != 5 {
+		t.Errorf("completed %d steps, want 5", got.Metrics.StepsDone)
+	}
+	// The feed carries the full trajectory with continuous step numbers.
+	steps := make([]int, 0, 5)
+	for _, smp := range got.Samples {
+		steps = append(steps, smp.Step)
+	}
+	for i, st := range steps {
+		if st != i+1 {
+			t.Fatalf("sample steps %v, want 1..5 with no gap or repeat", steps)
+		}
+	}
+	if len(steps) != 5 {
+		t.Fatalf("feed has %d samples, want 5", len(steps))
+	}
+	if err := s.Preempt(v.ID); err == nil {
+		t.Error("preempting a done job did not error")
+	}
+}
+
+// TestPoolCancel: canceling a queued job never runs it; canceling a
+// running job stops it after the step in flight.
+func TestPoolCancel(t *testing.T) {
+	f := &fakeSim{gate: make(chan struct{})}
+	s := startFake(t, 1, f)
+	defer s.Drain()
+	running, err := s.Submit(fakeSpec(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(fakeSpec(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running.ID, StateRunning)
+	if err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, queued.ID, StateCanceled)
+	f.gate <- struct{}{}
+	if err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, running.ID, StateCanceled)
+	if got.Metrics.StepsDone != 1 {
+		t.Errorf("canceled after %d steps, want 1", got.Metrics.StepsDone)
+	}
+	f.mu.Lock()
+	started := append([]int64(nil), f.started...)
+	f.mu.Unlock()
+	for _, seed := range started {
+		if seed == 2 {
+			t.Error("canceled queued job was started")
+		}
+	}
+	if err := s.Cancel(queued.ID); err == nil {
+		t.Error("canceling a canceled job did not error")
+	}
+}
+
+// TestPoolRestartAdoption: a drained server's directory re-queues its
+// interrupted jobs on the next start, resuming from the checkpoint, and
+// re-registers terminal jobs as history.
+func TestPoolRestartAdoption(t *testing.T) {
+	dir := t.TempDir()
+	f := &fakeSim{gate: make(chan struct{})}
+	a, err := newServer(Config{Workers: 1, Dir: dir}, f.run, f.solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.start()
+	finished, err := a.Submit(fakeSpec(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.gate <- struct{}{}
+	waitState(t, a, finished.ID, StateDone)
+	interrupted, err := a.Submit(fakeSpec(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, a, interrupted.ID, StateRunning)
+	f.gate <- struct{}{}
+	f.gate <- struct{}{} // two of five steps
+	queued, err := a.Submit(fakeSpec(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Drain()
+
+	// A new server on the same directory finishes the work.
+	g := &fakeSim{}
+	b, err := newServer(Config{Workers: 1, Dir: dir}, g.run, g.solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := b.Get(finished.ID); !ok || v.State != StateDone {
+		t.Fatalf("terminal job not adopted as history: %+v", v)
+	}
+	b.start()
+	defer b.Drain()
+	got := waitState(t, b, interrupted.ID, StateDone)
+	if got.Metrics.StepsDone != 5 {
+		t.Errorf("adopted job completed %d steps, want 5", got.Metrics.StepsDone)
+	}
+	if got.Metrics.Resumes < 1 {
+		t.Errorf("adopted job counts %d resumes, want >= 1", got.Metrics.Resumes)
+	}
+	waitState(t, b, queued.ID, StateDone)
+	// The resumed attempt started from the drained checkpoint (step 2),
+	// not from scratch: its segment had 3 steps left.
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, smp := range got.Samples {
+		if smp.Step > 5 {
+			t.Fatalf("resumed job overran the trajectory: step %d", smp.Step)
+		}
+	}
+	// New submissions on server B continue the ID sequence.
+	nv, err := b.Submit(fakeSpec(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.ID <= queued.ID {
+		t.Errorf("new ID %s does not continue the sequence after %s", nv.ID, queued.ID)
+	}
+}

@@ -1,0 +1,61 @@
+// SSE streaming: GET /jobs/{id}/stream replays the job's trajectory so
+// far and then follows it live, one "sample" event per completed step,
+// closing with a "state" event when the job turns terminal. Preemption
+// does not end the stream - the feed stays open across attempts, so a
+// client watching a preempted job sees the resumed steps continue on the
+// same connection.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	feed, ok := s.feed(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job: "+id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "internal", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for i := 0; ; i++ {
+		smp, ok := feed.Wait(i, r.Context().Done())
+		if !ok {
+			break
+		}
+		data, err := json.Marshal(smp)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: sample\ndata: %s\n\n", data)
+		fl.Flush()
+	}
+	// Wait returned false: the feed closed (job terminal) or the client
+	// went away. Only the former gets the closing state event.
+	select {
+	case <-r.Context().Done():
+		return
+	default:
+	}
+	if v, ok := s.Get(id); ok {
+		data, err := json.Marshal(struct {
+			ID    string `json:"id"`
+			State State  `json:"state"`
+			Error string `json:"error,omitempty"`
+		}{v.ID, v.State, v.Error})
+		if err == nil {
+			fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+			fl.Flush()
+		}
+	}
+}

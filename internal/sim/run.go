@@ -1,0 +1,557 @@
+// Run drivers: the four propagation paths (serial/distributed x
+// electron-only/Ehrenfest MD) extracted from cmd/ptdft so the CLI and the
+// job server share one implementation. Every driver supports cooperative
+// shutdown (the Stop channel finishes the step in flight, checkpoints the
+// completed steps, and returns), per-step observable emission, periodic
+// rolling checkpoints, and resume from a loaded checkpoint - the
+// machinery preemption and crash recovery are built from.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ptdft/internal/checkpoint"
+	"ptdft/internal/core"
+	"ptdft/internal/dist"
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/laser"
+	"ptdft/internal/mpi"
+	"ptdft/internal/observe"
+	"ptdft/internal/scf"
+	"ptdft/internal/units"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+// tagStop is the AllreduceSum tag (consumes tagStop and tagStop+1) for
+// the per-step shutdown vote: far above the dist tag namespace (fixed
+// tags end at 131; the exchange windows are 1<<10..1<<12 + band index).
+const tagStop = 9000
+
+// Options carries the runtime wiring of one Run: hooks, checkpointing,
+// and reusable inputs. All fields are optional.
+type Options struct {
+	// Stop is closed to request a graceful shutdown (SIGINT on the CLI,
+	// preemption or drain on the server): the driver finishes the step in
+	// flight, the final checkpoint covers the completed steps, and Run
+	// returns with Result.Stopped set.
+	Stop chan struct{}
+	// AfterStep observes each completed step (rank 0 in distributed
+	// runs); a test hook and the preemption trigger.
+	AfterStep func(done int)
+	// OnSample receives each step's observables as it completes - the
+	// streaming feed. Called from the driver goroutine (rank 0).
+	OnSample func(observe.Sample)
+	// Ground supplies a pre-computed ground state (an SCF-cache hit); nil
+	// means Run solves it. The orbitals are treated as read-only.
+	Ground *scf.Result
+	// Resume continues from a loaded checkpoint instead of the ground
+	// state. Run validates compatibility against the spec.
+	Resume *checkpoint.State
+	// Ckpt, when set, receives a durable rolling checkpoint every
+	// CkptEvery steps (ion steps under MD) plus the final state. With
+	// Ckpt nil and SavePath set, only the final state is written there.
+	Ckpt      *checkpoint.Rolling
+	CkptEvery int
+	SavePath  string
+	// Logf receives progress notices (system, ground state, cadence,
+	// communication volume); nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// stopped reports whether a shutdown was requested.
+func (o *Options) stopRequested() bool {
+	if o.Stop == nil {
+		return false
+	}
+	select {
+	case <-o.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result is the outcome of one Run segment.
+type Result struct {
+	Samples []observe.Sample // one per completed step (ion steps under MD)
+	Psi     []complex128     // full band set after the last completed step
+	Time    float64          // simulation time (au)
+	Stopped bool             // the segment ended on a shutdown request
+
+	Ground        *scf.Result // the ground state used (cached or solved)
+	GroundCached  bool        // true when Options.Ground supplied it
+	GroundWallSec float64     // SCF wall time (0 on a cache hit)
+
+	EhrenfestDrift float64           // max |E_tot - E_0| over the segment (MD only)
+	Final          *checkpoint.State // the assembled restartable state
+}
+
+// runner bundles the derived state the drivers share.
+type runner struct {
+	spec   *Spec
+	opt    *Options
+	g      *grid.Grid
+	nb     int
+	natom  int64
+	ex     dist.ExchangeStrategy
+	field  laser.Field
+	dt     float64
+	t0     float64
+	loaded *checkpoint.State
+	psiGS  []complex128 // ground-state reference for excited-electron counts
+	psi0   []complex128 // starting orbitals of this segment
+}
+
+// Run executes the spec to completion (or until Stop fires), returning
+// the trajectory segment. The driver is selected by (MD, Ranks) exactly
+// like the CLI: serial or distributed, electron-only or Ehrenfest.
+func Run(spec *Spec, opt Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cell, g, nb, err := spec.System()
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("system: Si%d (%dx%dx%d cells), Ecut %.1f Ha; grid %v (NG=%d), bands %d",
+		cell.NumAtoms(), spec.Cells[0], spec.Cells[1], spec.Cells[2], spec.Ecut, g.N, g.NG, nb)
+
+	res := &Result{}
+	gs := opt.Ground
+	if gs != nil {
+		res.GroundCached = true
+		opt.logf("ground state: E = %.8f Ha (cached; %d SCF iterations at build)", gs.Energy.Total(), gs.SCFIterations)
+	} else {
+		start := time.Now()
+		gs, err = GroundState(spec)
+		if err != nil {
+			return nil, err
+		}
+		res.GroundWallSec = time.Since(start).Seconds()
+		opt.logf("ground state: E = %.8f Ha (%d SCF iterations, density err %.2e)",
+			gs.Energy.Total(), gs.SCFIterations, gs.DensityError)
+	}
+	res.Ground = gs
+
+	var field laser.Field
+	switch {
+	case spec.PulseE0 != 0:
+		sigma := units.AttosecondsToAU(spec.DtAs) * float64(spec.Steps) / 4
+		field = laser.New380nm(spec.PulseE0, 2*sigma, sigma)
+		opt.logf("field: 380nm pulse, E0=%.4g Ha/bohr", spec.PulseE0)
+	case spec.Kick != 0:
+		field = &laser.Kick{K: spec.Kick, Pol: [3]float64{0, 0, 1}}
+		opt.logf("field: delta kick A=%.4g au along z", spec.Kick)
+	}
+
+	psiStart := gs.Psi
+	t0 := 0.0
+	if opt.Resume != nil {
+		st := opt.Resume
+		if err := st.Compatible(nb, g.NG, int64(cell.NumAtoms()), spec.Ecut, spec.Hybrid, spec.MTS, spec.ACE, spec.MD); err != nil {
+			return nil, err
+		}
+		psiStart = st.Psi
+		t0 = st.Time
+		opt.logf("resumed at t = %.2f as (step %d)", units.AUToAttoseconds(st.Time), st.Step)
+	}
+
+	ex, err := spec.ExchangeStrategy()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		spec: spec, opt: &opt, g: g, nb: nb, natom: int64(cell.NumAtoms()),
+		ex: ex, field: field, dt: units.AttosecondsToAU(spec.DtAs), t0: t0,
+		loaded: opt.Resume, psiGS: gs.Psi, psi0: psiStart,
+	}
+
+	var samples []observe.Sample
+	var psiFinal []complex128
+	var tFinal float64
+	var mts mtsSnapshot
+	var ions ionSnapshot
+	switch {
+	case spec.MD && spec.Ranks > 1:
+		samples, psiFinal, tFinal, mts, ions, err = r.runDistributedMD(cell)
+	case spec.MD:
+		samples, psiFinal, tFinal, mts, ions, err = r.runSerialMD(cell)
+	case spec.Ranks > 1:
+		samples, psiFinal, tFinal, mts, err = r.runDistributed()
+	default:
+		samples, psiFinal, tFinal, mts, err = r.runSerial()
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Samples = samples
+	res.Psi = psiFinal
+	res.Time = tFinal
+	res.Stopped = opt.stopRequested()
+	if spec.MD && len(samples) > 0 {
+		for _, s := range samples {
+			if d := math.Abs(s.Energy - ions.e0); d > res.EhrenfestDrift {
+				res.EhrenfestDrift = d
+			}
+		}
+		opt.logf("ehrenfest: %d ion steps of %g as (K=%d electronic steps each); max total-energy drift %.3e Ha",
+			len(samples), spec.IonDtAs, spec.IonSubsteps(), res.EhrenfestDrift)
+	}
+
+	// Assemble the restartable state covering the completed steps. The
+	// step counter is cumulative provenance: a resumed segment saves
+	// loaded.Step + its own steps, so a trajectory split across segments
+	// reports the true global step on every file.
+	elSteps := len(samples)
+	if spec.MD {
+		elSteps = len(samples) * spec.IonSubsteps()
+	}
+	st := r.segmentState(tFinal, psiFinal, elSteps, mts.phase, mts.phiRef)
+	if spec.MD {
+		st.IonSteps = checkpoint.ContinuationIonSteps(r.loaded, len(samples))
+		st.IonPos, st.IonVel, st.IonForce = ions.pos, ions.vel, ions.force
+	}
+	res.Final = st
+	switch {
+	case opt.Ckpt != nil:
+		if err := opt.Ckpt.Save(st); err != nil {
+			return nil, err
+		}
+	case opt.SavePath != "":
+		if err := checkpoint.SaveFile(opt.SavePath, st); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// GroundState solves the spec's ground-state SCF (the cache-miss path of
+// the job server, and the default path of Run).
+func GroundState(spec *Spec) (*scf.Result, error) {
+	_, g, nb, err := spec.System()
+	if err != nil {
+		return nil, err
+	}
+	h := hamiltonian.New(g, spec.Pots(), hamiltonian.Config{
+		Hybrid: spec.Hybrid, UseACE: spec.ACE, Params: xc.HSE06(), IonDynamics: spec.MD,
+	})
+	o := scf.Defaults()
+	o.Seed = spec.Seed
+	return scf.GroundState(g, h, nb, o)
+}
+
+// emit records one completed step on rank 0: appended to the segment's
+// sample list and forwarded to the streaming hook.
+func (r *runner) emit(samples []observe.Sample, s observe.Sample) []observe.Sample {
+	if r.opt.OnSample != nil {
+		r.opt.OnSample(s)
+	}
+	return append(samples, s)
+}
+
+// baseStep returns the cumulative step offset of this segment (driver
+// steps: ion steps under MD, electronic steps otherwise).
+func (r *runner) baseStep() int {
+	if r.loaded == nil {
+		return 0
+	}
+	if r.spec.MD {
+		return int(r.loaded.IonSteps)
+	}
+	return int(r.loaded.Step)
+}
+
+// segmentState assembles the restartable state after elDone completed
+// electronic steps of this segment (MD callers add the ion block).
+func (r *runner) segmentState(t float64, psi []complex128, elDone, phase int, phiRef []complex128) *checkpoint.State {
+	return &checkpoint.State{
+		Time: t, Step: checkpoint.ContinuationStep(r.loaded, elDone), NBands: r.nb, NG: r.g.NG,
+		Natom: r.natom, Ecut: r.spec.Ecut, Hybrid: r.spec.Hybrid, Psi: psi,
+		MTSPeriod: int64(r.spec.MTS), MTSPhase: int64(phase), MTSACE: r.spec.ACE && r.spec.MTS > 0,
+		PhiRef: phiRef,
+	}
+}
+
+// mtsSnapshot carries the MTS cadence state out of a propagation for
+// checkpointing: the cycle phase at the end of the run and - mid-cycle
+// only - the frozen exchange reference of the last outer step.
+type mtsSnapshot struct {
+	phase  int
+	phiRef []complex128
+}
+
+// needRef reports whether the final state must carry the frozen exchange
+// reference: only mid-cycle, and only when a checkpoint will be written.
+func (r *runner) needRef() bool {
+	return r.opt.Ckpt != nil || r.opt.SavePath != ""
+}
+
+func (r *runner) runSerial() ([]observe.Sample, []complex128, float64, mtsSnapshot, error) {
+	spec, opt := r.spec, r.opt
+	h := hamiltonian.New(r.g, spec.Pots(), hamiltonian.Config{
+		Hybrid: spec.Hybrid, UseACE: spec.ACE, Params: xc.HSE06(),
+	})
+	sys := &core.System{G: r.g, H: h, NB: r.nb, Occ: 2, Field: r.field}
+	psi := wavefunc.Clone(r.psi0)
+	var samples []observe.Sample
+	var snap mtsSnapshot
+	var stepFn func([]complex128, float64) ([]complex128, core.StepStats, error)
+	var now func() float64
+	var pt *core.PTCN
+	switch spec.Method {
+	case "ptcn":
+		pt = core.NewPTCN(sys, core.DefaultPTCN())
+		pt.Time = r.t0
+		pt.MTS = spec.MTS
+		if r.loaded != nil {
+			if err := pt.ResumeMTS(int(r.loaded.MTSPhase), r.loaded.PhiRef); err != nil {
+				return nil, nil, 0, snap, err
+			}
+		}
+		stepFn, now = pt.Step, func() float64 { return pt.Time }
+	case "rk4":
+		rk := core.NewRK4(sys)
+		rk.Time = r.t0
+		stepFn, now = rk.Step, func() float64 { return rk.Time }
+	}
+	base := r.baseStep()
+	for i := 0; i < spec.Steps; i++ {
+		start := time.Now()
+		var stats core.StepStats
+		var err error
+		psi, stats, err = stepFn(psi, r.dt)
+		if err != nil {
+			return nil, nil, 0, snap, fmt.Errorf("step %d: %w", i, err)
+		}
+		wall := time.Since(start).Seconds()
+		eb := observe.Energy(sys, psi, now())
+		j := observe.Current(sys, psi)
+		samples = r.emit(samples, observe.Sample{
+			Step:     base + i + 1,
+			TimeFs:   now() * units.FemtosecondPerAU,
+			Energy:   eb.Total(),
+			CurrentZ: j[2],
+			Excited:  observe.ExcitedElectrons(sys, r.psiGS, psi),
+			SCFIters: stats.SCFIterations,
+			WallSec:  wall,
+		})
+		done := i + 1
+		if opt.AfterStep != nil {
+			opt.AfterStep(done)
+		}
+		if opt.Ckpt != nil && opt.CkptEvery > 0 && done%opt.CkptEvery == 0 && done < spec.Steps {
+			phase := 0
+			var ref []complex128
+			if pt != nil && spec.MTS > 0 {
+				if phase = pt.MTSPhase(); phase != 0 {
+					ref = wavefunc.Clone(pt.MTSRef())
+				}
+			}
+			st := r.segmentState(now(), wavefunc.Clone(psi), done, phase, ref)
+			if err := opt.Ckpt.Save(st); err != nil {
+				return nil, nil, 0, snap, fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
+			}
+		}
+		if opt.stopRequested() {
+			break
+		}
+	}
+	// Report which exchange operator actually propagated the run: a
+	// degenerate reference set downgrades an ACE refresh to the exact
+	// operator, and that must never stay invisible.
+	if spec.Hybrid && spec.ACE {
+		if n, lastErr := h.ACEFallbacks(); n > 0 {
+			opt.logf("exchange operator: ACE with %d refresh(es) fallen back to exact exchange (last failure: %v)", n, lastErr)
+		} else {
+			opt.logf("exchange operator: ACE (no fallbacks)")
+		}
+	}
+	if pt != nil && spec.MTS > 0 {
+		snap.phase = pt.MTSPhase()
+		if snap.phase != 0 && r.needRef() {
+			// The frozen-reference copy only matters to a checkpoint.
+			snap.phiRef = wavefunc.Clone(pt.MTSRef())
+		}
+		opt.logf("MTS cadence: exchange refreshed every %d steps (ended at cycle phase %d)", spec.MTS, snap.phase)
+	}
+	return samples, psi, now(), snap, nil
+}
+
+func (r *runner) runDistributed() ([]observe.Sample, []complex128, float64, mtsSnapshot, error) {
+	spec, opt := r.spec, r.opt
+	var snap mtsSnapshot
+	exOpt := dist.ExchangeOptions{
+		Strategy:          r.ex,
+		SinglePrecision:   spec.SinglePrec,
+		ACE:               spec.ACE,
+		ACEHoldThroughSCF: spec.ACEHold,
+		MTSPeriod:         spec.MTS,
+		StealChunk:        spec.StealChunk,
+	}
+	op := "none (semi-local)"
+	switch {
+	case spec.Hybrid && spec.MTS > 0 && spec.ACE:
+		op = fmt.Sprintf("ACE frozen between outer steps (MTS M=%d)", spec.MTS)
+	case spec.Hybrid && spec.MTS > 0:
+		op = fmt.Sprintf("exact exchange frozen between outer steps (MTS M=%d)", spec.MTS)
+	case spec.Hybrid && spec.ACEHold:
+		op = "ACE (held through inner SCF)"
+	case spec.Hybrid && spec.ACE:
+		op = "ACE (rebuilt per refresh)"
+	case spec.Hybrid:
+		op = "exact exchange"
+	}
+	opt.logf("distributed: %d ranks, exchange strategy %v, operator %s, single precision %v", spec.Ranks, r.ex, op, spec.SinglePrec)
+
+	base := r.baseStep()
+	samples := make([]observe.Sample, spec.Steps)
+	psiFinal := make([]complex128, r.nb*r.g.NG)
+	var tFinal float64
+	var firstErr, saveErr error
+	doneSteps := 0
+	stats := mpi.Run(spec.Ranks, func(c *mpi.Comm) {
+		d, err := dist.NewCtx(c, r.g, r.nb, 2)
+		if err != nil {
+			if c.Rank() == 0 {
+				firstErr = err
+			}
+			return
+		}
+		h := hamiltonian.New(r.g, spec.Pots(), hamiltonian.Config{})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), spec.Hybrid, r.field, core.DefaultPTCN(), exOpt)
+		s.Time = r.t0
+		lo, hi := d.BandRange(c.Rank())
+		ng := r.g.NG
+		local := wavefunc.Clone(r.psi0[lo*ng : hi*ng])
+		if r.loaded != nil {
+			// Land on the saved cycle phase; mid-cycle the frozen exchange
+			// reference of the last outer step is restored (and the
+			// compressed operator reconstructed from it, collectively).
+			var ref []complex128
+			if r.loaded.PhiRef != nil {
+				ref = r.loaded.PhiRef[lo*ng : hi*ng]
+			}
+			if err := s.ResumeMTS(int(r.loaded.MTSPhase), ref); err != nil {
+				if c.Rank() == 0 {
+					firstErr = err
+				}
+				return
+			}
+		}
+		for i := 0; i < spec.Steps; i++ {
+			start := time.Now()
+			var st core.StepStats
+			local, st, err = s.Step(local, r.dt)
+			if err != nil {
+				// Convergence failures are symmetric across ranks (the
+				// density criterion is global), so every rank exits here
+				// together and no collective is left half-entered.
+				if c.Rank() == 0 {
+					firstErr = fmt.Errorf("step %d: %w", i, err)
+				}
+				return
+			}
+			// The wall clock covers the step only, not the observable
+			// evaluations after it (matches the serial driver).
+			wall := time.Since(start).Seconds()
+			eb := s.TotalEnergy(local, s.Time)
+			j := s.Current(local)
+			nexc := s.ExcitedElectrons(r.psiGS, local)
+			done := i + 1
+			if c.Rank() == 0 {
+				samples[i] = observe.Sample{
+					Step:     base + done,
+					TimeFs:   s.Time * units.FemtosecondPerAU,
+					Energy:   eb.Total(),
+					CurrentZ: j[2],
+					Excited:  nexc,
+					SCFIters: st.SCFIterations,
+					WallSec:  wall,
+				}
+				doneSteps = done
+				if opt.OnSample != nil {
+					opt.OnSample(samples[i])
+				}
+				if opt.AfterStep != nil {
+					opt.AfterStep(done)
+				}
+			}
+			// Periodic durable checkpoint: the cadence test is on the shared
+			// step counter, so every rank enters the gathers together. A
+			// failed save must not abort mid-collective (the other ranks
+			// would hang); it is recorded and reported after the run.
+			if opt.Ckpt != nil && opt.CkptEvery > 0 && done%opt.CkptEvery == 0 && done < spec.Steps {
+				phase := 0
+				if spec.MTS > 0 {
+					phase = s.MTSPhase()
+				}
+				full := d.Gather(local)
+				var ref []complex128
+				if phase != 0 {
+					refFull := d.Gather(s.MTSRef())
+					if c.Rank() == 0 {
+						ref = wavefunc.Clone(refFull)
+					}
+				}
+				if c.Rank() == 0 {
+					st := r.segmentState(s.Time, wavefunc.Clone(full), done, phase, ref)
+					if err := opt.Ckpt.Save(st); err != nil && saveErr == nil {
+						saveErr = fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
+					}
+				}
+			}
+			// Shutdown vote: only rank 0 sees the stop flag; the sum makes
+			// the break rank-symmetric so no collective is left half-entered.
+			stopFlag := []float64{0}
+			if c.Rank() == 0 && opt.stopRequested() {
+				stopFlag[0] = 1
+			}
+			mpi.AllreduceSum(c, tagStop, stopFlag)
+			if stopFlag[0] != 0 {
+				break
+			}
+		}
+		full := d.Gather(local)
+		if c.Rank() == 0 {
+			copy(psiFinal, full)
+			tFinal = s.Time
+		}
+		if spec.MTS > 0 {
+			// The phase and the save decision are rank-symmetric, so the
+			// gather decision is a collective-safe branch; only mid-cycle
+			// saves need the frozen reference on the wire at all.
+			phase := s.MTSPhase()
+			if c.Rank() == 0 {
+				snap.phase = phase
+			}
+			if phase != 0 && r.needRef() {
+				ref := d.Gather(s.MTSRef())
+				if c.Rank() == 0 {
+					snap.phiRef = wavefunc.Clone(ref)
+				}
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, nil, 0, snap, firstErr
+	}
+	if saveErr != nil {
+		return nil, nil, 0, snap, saveErr
+	}
+	opt.logf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB",
+		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
+		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
+	return samples[:doneSteps], psiFinal, tFinal, snap, nil
+}
+
+func mb(b int64) float64 { return float64(b) / 1e6 }

@@ -1,0 +1,316 @@
+// Ehrenfest MD drivers: velocity-Verlet ions coupled to PT-CN electrons,
+// serial and distributed, with the same shutdown/checkpoint/streaming
+// contract as the electron-only drivers in run.go.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"ptdft/internal/checkpoint"
+	"ptdft/internal/core"
+	"ptdft/internal/dist"
+	"ptdft/internal/grid"
+	"ptdft/internal/hamiltonian"
+	"ptdft/internal/ion"
+	"ptdft/internal/lattice"
+	"ptdft/internal/mpi"
+	"ptdft/internal/observe"
+	"ptdft/internal/units"
+	"ptdft/internal/wavefunc"
+	"ptdft/internal/xc"
+)
+
+// ionSnapshot carries the Ehrenfest ion state out of a propagation for
+// checkpointing: positions, velocities and the cached force after the
+// last completed ion step.
+type ionSnapshot struct {
+	pos, vel, force [][3]float64
+	e0              float64 // conserved total before the first recorded step
+}
+
+// snapshotIons captures the integrator's restartable state.
+func snapshotIons(v *ion.Verlet) ionSnapshot {
+	return ionSnapshot{
+		pos:   v.Cell.Positions(),
+		vel:   append([][3]float64(nil), v.Vel...),
+		force: append([][3]float64(nil), v.F...),
+	}
+}
+
+// runSerialMD drives the coupled Ehrenfest system serially: a velocity-
+// Verlet ion integrator over the cell, with core.PTCN advancing the
+// electrons K steps per ion step. The recorded energy is the conserved
+// total (electronic + ion kinetic + ion-ion).
+func (r *runner) runSerialMD(cell *lattice.Cell) ([]observe.Sample, []complex128, float64, mtsSnapshot, ionSnapshot, error) {
+	spec, opt := r.spec, r.opt
+	var snap mtsSnapshot
+	var ionsnap ionSnapshot
+	h := hamiltonian.New(r.g, spec.Pots(), hamiltonian.Config{
+		Hybrid: spec.Hybrid, UseACE: spec.ACE, Params: xc.HSE06(), IonDynamics: true,
+	})
+	sys := &core.System{G: r.g, H: h, NB: r.nb, Occ: 2, Field: r.field}
+	pt := core.NewPTCN(sys, core.DefaultPTCN())
+	pt.Time = r.t0
+	pt.MTS = spec.MTS
+	if r.loaded != nil {
+		if err := pt.ResumeMTS(int(r.loaded.MTSPhase), r.loaded.PhiRef); err != nil {
+			return nil, nil, 0, snap, ionsnap, err
+		}
+	}
+	se := &ion.SerialElectrons{P: pt, Psi: wavefunc.Clone(r.psi0), Pots: spec.Pots()}
+	v, err := ion.NewVerlet(cell, se, units.AttosecondsToAU(spec.IonDtAs), spec.IonSubsteps())
+	if err != nil {
+		return nil, nil, 0, snap, ionsnap, err
+	}
+	if r.loaded != nil && r.loaded.HasIons() {
+		if err := v.Resume(r.loaded.IonPos, r.loaded.IonVel, r.loaded.IonForce, int(r.loaded.IonSteps)); err != nil {
+			return nil, nil, 0, snap, ionsnap, err
+		}
+	}
+	// The drift baseline is the conserved total BEFORE any ion step: the
+	// first step is the largest for a released atom and must not hide its
+	// own error. (This also fills the initial force cache.)
+	e0, err := v.TotalEnergy()
+	if err != nil {
+		return nil, nil, 0, snap, ionsnap, err
+	}
+	ionsnap.e0 = e0
+	base := r.baseStep()
+	var samples []observe.Sample
+	for i := 0; i < spec.IonSteps; i++ {
+		start := time.Now()
+		se.SCF = 0
+		if err := v.Step(); err != nil {
+			return nil, nil, 0, snap, ionsnap, fmt.Errorf("ion step %d: %w", i, err)
+		}
+		wall := time.Since(start).Seconds()
+		etot, err := v.TotalEnergy()
+		if err != nil {
+			return nil, nil, 0, snap, ionsnap, err
+		}
+		j := observe.Current(sys, se.Psi)
+		samples = r.emit(samples, observe.Sample{
+			Step:     base + i + 1,
+			TimeFs:   pt.Time * units.FemtosecondPerAU,
+			Energy:   etot,
+			CurrentZ: j[2],
+			Excited:  observe.ExcitedElectrons(sys, r.psiGS, se.Psi),
+			SCFIters: se.SCF,
+			WallSec:  wall,
+		})
+		done := i + 1
+		if opt.AfterStep != nil {
+			opt.AfterStep(done)
+		}
+		if opt.Ckpt != nil && opt.CkptEvery > 0 && done%opt.CkptEvery == 0 && done < spec.IonSteps {
+			phase := 0
+			var ref []complex128
+			if spec.MTS > 0 {
+				if phase = pt.MTSPhase(); phase != 0 {
+					ref = wavefunc.Clone(pt.MTSRef())
+				}
+			}
+			st := r.segmentState(pt.Time, wavefunc.Clone(se.Psi), done*spec.IonSubsteps(), phase, ref)
+			st.IonSteps = checkpoint.ContinuationIonSteps(r.loaded, done)
+			is := snapshotIons(v)
+			st.IonPos, st.IonVel, st.IonForce = is.pos, is.vel, is.force
+			if err := opt.Ckpt.Save(st); err != nil {
+				return nil, nil, 0, snap, ionsnap, fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
+			}
+		}
+		if opt.stopRequested() {
+			break
+		}
+	}
+	if spec.MTS > 0 {
+		snap.phase = pt.MTSPhase()
+		if snap.phase != 0 && r.needRef() {
+			snap.phiRef = wavefunc.Clone(pt.MTSRef())
+		}
+	}
+	e0 = ionsnap.e0
+	ionsnap = snapshotIons(v)
+	ionsnap.e0 = e0
+	return samples, se.Psi, pt.Time, snap, ionsnap, nil
+}
+
+// runDistributedMD drives the coupled system over goroutine-MPI ranks.
+// Each rank owns a cloned cell and a grid/Hamiltonian built on it, and
+// integrates a replicated Verlet trajectory: the forces are allreduced in
+// deterministic rank order, so every replica is bit-identical and the
+// trajectory matches the serial driver to reduction round-off.
+func (r *runner) runDistributedMD(cell *lattice.Cell) ([]observe.Sample, []complex128, float64, mtsSnapshot, ionSnapshot, error) {
+	spec, opt := r.spec, r.opt
+	var snap mtsSnapshot
+	var ionsnap ionSnapshot
+	exOpt := dist.ExchangeOptions{
+		Strategy:          r.ex,
+		SinglePrecision:   spec.SinglePrec,
+		ACE:               spec.ACE,
+		ACEHoldThroughSCF: spec.ACEHold,
+		MTSPeriod:         spec.MTS,
+		StealChunk:        spec.StealChunk,
+	}
+	opt.logf("distributed ehrenfest: %d ranks, %d ion steps x K=%d electronic steps", spec.Ranks, spec.IonSteps, spec.IonSubsteps())
+
+	base := r.baseStep()
+	samples := make([]observe.Sample, spec.IonSteps)
+	psiFinal := make([]complex128, r.nb*r.g.NG)
+	var tFinal float64
+	var firstErr, saveErr error
+	doneSteps := 0
+	stats := mpi.Run(spec.Ranks, func(c *mpi.Comm) {
+		fail := func(err error) {
+			if c.Rank() == 0 {
+				firstErr = err
+			}
+		}
+		// Per-rank geometry: a cloned cell and a grid built on it, so the
+		// concurrent position updates of the replicated trajectories never
+		// touch shared memory.
+		cellR := cell.Clone()
+		gR, err := grid.New(cellR, spec.Ecut)
+		if err != nil {
+			fail(err)
+			return
+		}
+		d, err := dist.NewCtx(c, gR, r.nb, 2)
+		if err != nil {
+			fail(err)
+			return
+		}
+		h := hamiltonian.New(gR, spec.Pots(), hamiltonian.Config{IonDynamics: true})
+		s := dist.NewPTCNSolver(d, h, xc.HSE06(), spec.Hybrid, r.field, core.DefaultPTCN(), exOpt)
+		s.Time = r.t0
+		ng := r.g.NG
+		lo, hi := d.BandRange(c.Rank())
+		de := &ion.DistElectrons{S: s, Local: wavefunc.Clone(r.psi0[lo*ng : hi*ng]), Pots: spec.Pots()}
+		if r.loaded != nil {
+			var ref []complex128
+			if r.loaded.PhiRef != nil {
+				ref = r.loaded.PhiRef[lo*ng : hi*ng]
+			}
+			if err := s.ResumeMTS(int(r.loaded.MTSPhase), ref); err != nil {
+				fail(err)
+				return
+			}
+		}
+		v, err := ion.NewVerlet(cellR, de, units.AttosecondsToAU(spec.IonDtAs), spec.IonSubsteps())
+		if err != nil {
+			fail(err)
+			return
+		}
+		if r.loaded != nil && r.loaded.HasIons() {
+			if err := v.Resume(r.loaded.IonPos, r.loaded.IonVel, r.loaded.IonForce, int(r.loaded.IonSteps)); err != nil {
+				fail(err)
+				return
+			}
+		}
+		// Drift baseline before the first step, mirroring runSerialMD.
+		e0, err := v.TotalEnergy()
+		if err != nil {
+			fail(err)
+			return
+		}
+		for i := 0; i < spec.IonSteps; i++ {
+			start := time.Now()
+			de.SCF = 0
+			if err := v.Step(); err != nil {
+				// PT-CN convergence failure is decided on the global
+				// density, so every rank exits here together.
+				fail(fmt.Errorf("ion step %d: %w", i, err))
+				return
+			}
+			wall := time.Since(start).Seconds()
+			etot, err := v.TotalEnergy()
+			if err != nil {
+				fail(err)
+				return
+			}
+			j := s.Current(de.Local)
+			nexc := s.ExcitedElectrons(r.psiGS, de.Local)
+			done := i + 1
+			if c.Rank() == 0 {
+				samples[i] = observe.Sample{
+					Step:     base + done,
+					TimeFs:   s.Time * units.FemtosecondPerAU,
+					Energy:   etot,
+					CurrentZ: j[2],
+					Excited:  nexc,
+					SCFIters: de.SCF,
+					WallSec:  wall,
+				}
+				doneSteps = done
+				if opt.OnSample != nil {
+					opt.OnSample(samples[i])
+				}
+				if opt.AfterStep != nil {
+					opt.AfterStep(done)
+				}
+			}
+			// Periodic durable checkpoint (same collective discipline and
+			// failure handling as the electron-only distributed driver).
+			if opt.Ckpt != nil && opt.CkptEvery > 0 && done%opt.CkptEvery == 0 && done < spec.IonSteps {
+				phase := 0
+				if spec.MTS > 0 {
+					phase = s.MTSPhase()
+				}
+				full := d.Gather(de.Local)
+				var ref []complex128
+				if phase != 0 {
+					refFull := d.Gather(s.MTSRef())
+					if c.Rank() == 0 {
+						ref = wavefunc.Clone(refFull)
+					}
+				}
+				if c.Rank() == 0 {
+					st := r.segmentState(s.Time, wavefunc.Clone(full), done*spec.IonSubsteps(), phase, ref)
+					st.IonSteps = checkpoint.ContinuationIonSteps(r.loaded, done)
+					is := snapshotIons(v)
+					st.IonPos, st.IonVel, st.IonForce = is.pos, is.vel, is.force
+					if err := opt.Ckpt.Save(st); err != nil && saveErr == nil {
+						saveErr = fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
+					}
+				}
+			}
+			stopFlag := []float64{0}
+			if c.Rank() == 0 && opt.stopRequested() {
+				stopFlag[0] = 1
+			}
+			mpi.AllreduceSum(c, tagStop, stopFlag)
+			if stopFlag[0] != 0 {
+				break
+			}
+		}
+		full := d.Gather(de.Local)
+		if c.Rank() == 0 {
+			copy(psiFinal, full)
+			tFinal = s.Time
+			ionsnap = snapshotIons(v)
+			ionsnap.e0 = e0
+		}
+		if spec.MTS > 0 {
+			phase := s.MTSPhase()
+			if c.Rank() == 0 {
+				snap.phase = phase
+			}
+			if phase != 0 && r.needRef() {
+				ref := d.Gather(s.MTSRef())
+				if c.Rank() == 0 {
+					snap.phiRef = wavefunc.Clone(ref)
+				}
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, nil, 0, snap, ionsnap, firstErr
+	}
+	if saveErr != nil {
+		return nil, nil, 0, snap, ionsnap, saveErr
+	}
+	opt.logf("communication volume: Bcast %.1f MB, Alltoallv %.1f MB, Allreduce %.1f MB, AllGatherv %.1f MB",
+		mb(stats.BytesFor(mpi.ClassBcast)), mb(stats.BytesFor(mpi.ClassAlltoallv)),
+		mb(stats.BytesFor(mpi.ClassAllreduce)), mb(stats.BytesFor(mpi.ClassAllgatherv)))
+	return samples[:doneSteps], psiFinal, tFinal, snap, ionsnap, nil
+}

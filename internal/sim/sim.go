@@ -1,0 +1,262 @@
+// Package sim is the reusable run layer shared by cmd/ptdft and the job
+// server (internal/server, cmd/ptdftd): a JSON-serializable simulation
+// Spec with the full flag-validation rules, the ground-state solve, and
+// the four propagation drivers (serial/distributed x electron-only/
+// Ehrenfest MD) with hooks for streaming observables, cooperative
+// preemption, checkpoint-backed resume, and a pre-computed (cached)
+// ground state. cmd/ptdft's CLI is a thin flag front-end over this
+// package; the server multiplexes many Specs over a worker pool.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"ptdft/internal/dist"
+	"ptdft/internal/grid"
+	"ptdft/internal/lattice"
+	"ptdft/internal/pseudo"
+	"ptdft/internal/scf"
+)
+
+// Spec fully describes one simulation: the physical system, the
+// functional and exchange cadence, the integrator, and the parallel
+// layout. It is JSON-serializable (the job server's POST /jobs body) and
+// carries the same validation rules the ptdft CLI enforces, so a spec
+// that validates here runs on every driver.
+type Spec struct {
+	Cells      [3]int  `json:"cells"`                 // supercell repetitions (8 Si atoms per cell)
+	Ecut       float64 `json:"ecut"`                  // kinetic energy cutoff (Ha)
+	Hybrid     bool    `json:"hybrid,omitempty"`      // HSE-like screened-exchange functional
+	ACE        bool    `json:"ace,omitempty"`         // apply exchange through the ACE compression
+	ACEHold    bool    `json:"acehold,omitempty"`     // hold the distributed ACE operator through each inner SCF
+	MTS        int     `json:"mts,omitempty"`         // exchange refresh period M (0 = off)
+	Method     string  `json:"method,omitempty"`      // "ptcn" (default) or "rk4"
+	DtAs       float64 `json:"dt_as,omitempty"`       // electronic time step in attoseconds (default 24)
+	Steps      int     `json:"steps"`                 // propagation steps (electronic; ignored under MD)
+	Kick       float64 `json:"kick,omitempty"`        // delta-kick vector potential (au)
+	PulseE0    float64 `json:"pulse_e0,omitempty"`    // 380nm pulse peak field (Ha/bohr); overrides Kick
+	Ranks      int     `json:"ranks,omitempty"`       // goroutine-MPI ranks (0/1 = serial)
+	Seed       int64   `json:"seed,omitempty"`        // ground-state starting-guess seed
+	Exchange   string  `json:"exchange,omitempty"`    // distributed exchange strategy (default "overlap")
+	StealChunk int     `json:"steal_chunk,omitempty"` // pairs per claim under "steal" (0 = auto)
+	SinglePrec bool    `json:"single_prec,omitempty"` // single-precision MPI payloads
+	MD         bool    `json:"md,omitempty"`          // Ehrenfest ion dynamics
+	IonSteps   int     `json:"ion_steps,omitempty"`   // ion MD steps (trajectory length under MD)
+	IonDtAs    float64 `json:"ion_dt_as,omitempty"`   // ion time step (attoseconds); integer multiple of DtAs
+	Displace   string  `json:"displace,omitempty"`    // pre-SCF displacement "i:dx,dy,dz" (Bohr)
+}
+
+// Normalize fills defaulted fields in place (the CLI's flag defaults),
+// so a sparse JSON spec and a full flag set describe the same run.
+func (s *Spec) Normalize() {
+	if s.Method == "" {
+		s.Method = "ptcn"
+	}
+	if s.Exchange == "" {
+		s.Exchange = "overlap"
+	}
+	if s.DtAs == 0 {
+		s.DtAs = 24
+	}
+	if s.MD && s.IonDtAs == 0 {
+		s.IonDtAs = 96
+	}
+	if s.ACEHold {
+		// -acehold implies -ace: the hold is a cadence of the compression.
+		s.ACE = true
+	}
+}
+
+// Validate checks the full rule set the ptdft CLI enforces (no silent
+// flag drops: every request must reach a code path that honors it). It
+// normalizes first, so callers can hand it a sparse spec directly.
+func (s *Spec) Validate() error {
+	s.Normalize()
+	for _, v := range s.Cells {
+		if v < 1 {
+			return fmt.Errorf("sim: cells want nx,ny,nz >= 1, got %v", s.Cells)
+		}
+	}
+	if s.Ecut <= 0 {
+		return fmt.Errorf("sim: ecut wants a positive cutoff (Ha), got %g", s.Ecut)
+	}
+	if s.Method != "ptcn" && s.Method != "rk4" {
+		return fmt.Errorf("sim: unknown method %q", s.Method)
+	}
+	if s.Steps < 0 {
+		return fmt.Errorf("sim: negative step count %d", s.Steps)
+	}
+	if s.ACEHold && s.Ranks <= 1 {
+		return fmt.Errorf("sim: acehold is a distributed cadence (requires ranks > 1); the serial ACE always rebuilds per refresh - for a serial hold use mts=1")
+	}
+	if s.ACE && !s.Hybrid {
+		return fmt.Errorf("sim: ace selects the exchange operator of the hybrid functional; set hybrid")
+	}
+	switch {
+	case s.MTS < 0:
+		return fmt.Errorf("sim: mts wants a refresh period >= 1 (or 0 to disable), got %d", s.MTS)
+	case s.MTS > 0 && !s.Hybrid:
+		return fmt.Errorf("sim: mts freezes the hybrid exchange between outer steps; it needs hybrid")
+	case s.MTS > 0 && s.Method != "ptcn":
+		return fmt.Errorf("sim: mts is a PT-CN refresh cadence; method %s does not support it", s.Method)
+	case s.MTS > 1 && s.ACEHold:
+		return fmt.Errorf("sim: acehold is exactly mts=1; it cannot combine with mts=%d - pick one cadence", s.MTS)
+	}
+	if s.MD {
+		if s.Method != "ptcn" {
+			return fmt.Errorf("sim: md couples the ions to the PT-CN propagator; method %s does not support it", s.Method)
+		}
+		if s.IonSteps < 1 {
+			return fmt.Errorf("sim: md wants ion_steps >= 1, got %d", s.IonSteps)
+		}
+		if s.DtAs <= 0 || s.IonDtAs <= 0 {
+			return fmt.Errorf("sim: md wants positive time steps, got dt %g and ion_dt %g", s.DtAs, s.IonDtAs)
+		}
+		k := s.IonDtAs / s.DtAs
+		if k < 0.5 || math.Abs(k-math.Round(k)) > 1e-9*k {
+			return fmt.Errorf("sim: ion_dt %g as is not an integer multiple of dt %g as (each ion step spans K electronic steps)", s.IonDtAs, s.DtAs)
+		}
+	}
+	if s.Ranks < 0 {
+		return fmt.Errorf("sim: negative rank count %d", s.Ranks)
+	}
+	if s.Ranks > 1 && s.Method != "ptcn" {
+		return fmt.Errorf("sim: distributed runs support method ptcn only")
+	}
+	if _, err := dist.ParseStrategy(s.Exchange); err != nil {
+		return err
+	}
+	if s.StealChunk < 0 {
+		return fmt.Errorf("sim: steal_chunk wants a positive chunk size (or 0 for auto), got %d", s.StealChunk)
+	}
+	if ex, _ := dist.ParseStrategy(s.Exchange); s.StealChunk > 0 && ex != dist.Steal {
+		return fmt.Errorf("sim: steal_chunk tunes the work-queue granularity of exchange=steal; it does nothing under exchange=%s", s.Exchange)
+	}
+	if s.Displace != "" {
+		if _, _, err := ParseDisplace(s.Displace); err != nil {
+			return err
+		}
+	}
+	// Band/rank divisibility and displacement bounds need the cell; it is
+	// cheap (no grid, no FFT plans), so a spec that validates here cannot
+	// fail those checks after an expensive ground state.
+	cell, err := s.Cell()
+	if err != nil {
+		return err
+	}
+	if s.Ranks > 1 && cell.NumBands()%s.Ranks != 0 {
+		return fmt.Errorf("sim: %d bands not divisible by %d ranks", cell.NumBands(), s.Ranks)
+	}
+	return nil
+}
+
+// ParseDisplace parses a displacement spec "i:dx,dy,dz" (Bohr).
+func ParseDisplace(s string) (int, [3]float64, error) {
+	var vec [3]float64
+	head, tail, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, vec, fmt.Errorf("sim: displace wants i:dx,dy,dz, got %q", s)
+	}
+	atom, err := strconv.Atoi(strings.TrimSpace(head))
+	if err != nil || atom < 0 {
+		return 0, vec, fmt.Errorf("sim: displace: bad atom index %q", head)
+	}
+	parts := strings.Split(tail, ",")
+	if len(parts) != 3 {
+		return 0, vec, fmt.Errorf("sim: displace wants three components, got %q", tail)
+	}
+	for i, p := range parts {
+		if vec[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
+			return 0, vec, fmt.Errorf("sim: displace: bad component %q", p)
+		}
+	}
+	return atom, vec, nil
+}
+
+// Cell builds the (possibly displaced) supercell of the spec.
+func (s *Spec) Cell() (*lattice.Cell, error) {
+	cell, err := lattice.SiliconSupercell(s.Cells[0], s.Cells[1], s.Cells[2])
+	if err != nil {
+		return nil, err
+	}
+	if s.Displace != "" {
+		atom, vec, err := ParseDisplace(s.Displace)
+		if err != nil {
+			return nil, err
+		}
+		if err := cell.DisplaceAtom(atom, vec); err != nil {
+			return nil, err
+		}
+	}
+	return cell, nil
+}
+
+// System builds the cell, wavefunction grid and band count of the spec.
+func (s *Spec) System() (*lattice.Cell, *grid.Grid, int, error) {
+	cell, err := s.Cell()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	g, err := grid.New(cell, s.Ecut)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return cell, g, cell.NumBands(), nil
+}
+
+// ExchangeStrategy resolves the spec's exchange strategy name.
+func (s *Spec) ExchangeStrategy() (dist.ExchangeStrategy, error) {
+	return dist.ParseStrategy(s.Exchange)
+}
+
+// Functional names the exchange-correlation treatment of the ground-state
+// solve for cache keying: everything that changes the converged orbitals
+// beyond (cell, grid, bands) must be encoded here.
+func (s *Spec) Functional() string {
+	name := "lda"
+	if s.Hybrid {
+		name = "hse06"
+		if s.ACE {
+			name += "+ace"
+		}
+	}
+	if s.MD {
+		// Ion dynamics switches the Hamiltonian to the gradient-capable
+		// (band-limited, full-grid) nonlocal projectors, which perturbs the
+		// converged ground state at round-off level.
+		name += "+md"
+	}
+	return name
+}
+
+// SCFKey returns the content hash identifying this spec's ground-state
+// problem for the SCF cache: two specs with equal keys converge to the
+// bit-identical ground state.
+func (s *Spec) SCFKey() (string, error) {
+	cell, err := s.Cell()
+	if err != nil {
+		return "", err
+	}
+	return scf.Fingerprint(cell, s.Ecut, s.Functional(), cell.NumBands(), s.Seed), nil
+}
+
+// IonSubsteps returns K, the electronic PT-CN steps per ion step.
+func (s *Spec) IonSubsteps() int { return int(math.Round(s.IonDtAs / s.DtAs)) }
+
+// TotalSteps is the trajectory length in driver steps: ion steps under
+// MD, electronic steps otherwise.
+func (s *Spec) TotalSteps() int {
+	if s.MD {
+		return s.IonSteps
+	}
+	return s.Steps
+}
+
+// Pots returns the pseudopotential table for the spec's species set
+// (silicon supercells only today).
+func (s *Spec) Pots() map[int]*pseudo.Potential {
+	return map[int]*pseudo.Potential{0: pseudo.SiliconAH()}
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # docs-lint: every internal/ package must carry a package comment - a
 # "// Package <name> ..." doc comment on a non-test file - stating what the
-# package is for. CI runs this on every PR; run it locally from the module
-# root with: sh scripts/docslint.sh
+# package is for, and every cmd/ binary a "// Command <name> ..." comment
+# stating what it does and how to invoke it. CI runs this on every PR; run
+# it locally from the module root with: sh scripts/docslint.sh
 set -u
 fail=0
 for d in internal/*/; do
@@ -22,7 +23,24 @@ for d in internal/*/; do
 		fail=1
 	fi
 done
+for d in cmd/*/; do
+	name=$(basename "$d")
+	found=0
+	for f in "$d"*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		if grep -q "^// Command $name" "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "docs-lint: command $name ($d) has no '// Command $name' comment" >&2
+		fail=1
+	fi
+done
 if [ "$fail" -eq 0 ]; then
-	echo "docs-lint: all internal packages documented"
+	echo "docs-lint: all internal packages and commands documented"
 fi
 exit $fail
