@@ -165,14 +165,22 @@ func run(cfg *config) error {
 	if spec.MD {
 		stepLabel = "ion step"
 	}
+	// A resumed pulse run keeps the original envelope: -steps counts the
+	// remaining segment, so the field is shaped by the total trajectory
+	// (completed + remaining) and matches the uninterrupted run.
+	pulseSteps := 0
+	if loaded != nil && !spec.MD {
+		pulseSteps = int(loaded.Step) + spec.Steps
+	}
 	res, err := sim.Run(spec, sim.Options{
-		Stop:      cfg.stop,
-		AfterStep: cfg.afterStep,
-		OnSample:  func(s observe.Sample) { prof.Add(stepLabel, s.WallSec) },
-		Resume:    loaded,
-		Ckpt:      roll,
-		CkptEvery: cfg.ckptEvery,
-		SavePath:  cfg.savePath,
+		Stop:       cfg.stop,
+		AfterStep:  cfg.afterStep,
+		OnSample:   func(s observe.Sample) { prof.Add(stepLabel, s.WallSec) },
+		PulseSteps: pulseSteps,
+		Resume:     loaded,
+		Ckpt:       roll,
+		CkptEvery:  cfg.ckptEvery,
+		SavePath:   cfg.savePath,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

@@ -57,26 +57,45 @@ func Fingerprint(cell *lattice.Cell, ecut float64, functional string, nb int, se
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// DefaultCacheCap bounds the cache to this many retained ground states
+// unless the caller picks its own bound. Each entry pins a complete
+// orbital set, so a long-lived daemon must not let distinct submissions
+// grow the cache without limit.
+const DefaultCacheCap = 16
+
 // Cache deduplicates ground-state solves by fingerprint with singleflight
 // semantics: concurrent requests for the same key block on one solve
 // instead of each running their own, and later requests reuse the stored
-// result. Failed solves are not cached (a retry rebuilds). The stored
-// Result is shared between callers and must be treated as read-only -
-// every propagation driver clones the orbitals before mutating them.
+// result. Failed solves are not cached (a retry rebuilds). The cache is
+// bounded: past the cap, the least-recently-used completed entry is
+// evicted (in-flight solves are never dropped - their waiters hold them).
+// The stored Result is shared between callers and must be treated as
+// read-only - every propagation driver clones the orbitals before
+// mutating them.
 type Cache struct {
 	mu      sync.Mutex
+	cap     int
+	tick    int64
 	entries map[string]*cacheEntry
 }
 
 type cacheEntry struct {
-	done chan struct{} // closed when the solve finished
-	res  *Result
-	err  error
+	done    chan struct{} // closed when the solve finished
+	res     *Result
+	err     error
+	lastUse int64 // LRU clock at the most recent lookup
 }
 
-// NewCache returns an empty ground-state cache.
+// NewCache returns an empty ground-state cache holding at most
+// DefaultCacheCap entries.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*cacheEntry)}
+	return NewCacheCap(DefaultCacheCap)
+}
+
+// NewCacheCap returns an empty cache bounded to max retained entries;
+// max <= 0 means unbounded.
+func NewCacheCap(max int) *Cache {
+	return &Cache{cap: max, entries: make(map[string]*cacheEntry)}
 }
 
 // GroundState returns the cached result for key, or runs solve to build
@@ -85,7 +104,9 @@ func NewCache() *Cache {
 // state itself.
 func (c *Cache) GroundState(key string, solve func() (*Result, error)) (res *Result, hit bool, err error) {
 	c.mu.Lock()
+	c.tick++
 	if e, ok := c.entries[key]; ok {
+		e.lastUse = c.tick
 		c.mu.Unlock()
 		<-e.done
 		if e.err != nil {
@@ -93,8 +114,9 @@ func (c *Cache) GroundState(key string, solve func() (*Result, error)) (res *Res
 		}
 		return e.res, true, nil
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{done: make(chan struct{}), lastUse: c.tick}
 	c.entries[key] = e
+	c.evictLocked()
 	c.mu.Unlock()
 
 	e.res, e.err = solve()
@@ -106,6 +128,32 @@ func (c *Cache) GroundState(key string, solve func() (*Result, error)) (res *Res
 	}
 	close(e.done)
 	return e.res, false, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits its cap. Called with c.mu held. In-flight entries are skipped: a
+// waiter blocked on one must still receive the result, and evicting the
+// builder's map slot would let a concurrent lookup start a duplicate
+// solve.
+func (c *Cache) evictLocked() {
+	for c.cap > 0 && len(c.entries) > c.cap {
+		victim := ""
+		var oldest int64
+		for k, e := range c.entries {
+			select {
+			case <-e.done:
+			default:
+				continue // in-flight
+			}
+			if victim == "" || e.lastUse < oldest {
+				victim, oldest = k, e.lastUse
+			}
+		}
+		if victim == "" {
+			return // everything is in flight; allow the overshoot
+		}
+		delete(c.entries, victim)
+	}
 }
 
 // Len reports the number of completed or in-flight entries.

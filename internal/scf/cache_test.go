@@ -81,6 +81,49 @@ func TestCacheErrorNotCached(t *testing.T) {
 	}
 }
 
+// TestCacheEviction: the cache is bounded - past the cap the
+// least-recently-used completed entry is dropped, so a long-lived daemon
+// cannot pin an unbounded number of orbital sets. Recently-used entries
+// survive; the evicted key re-solves on the next request.
+func TestCacheEviction(t *testing.T) {
+	c := NewCacheCap(2)
+	solves := map[string]int{}
+	get := func(key string) bool {
+		_, hit, err := c.GroundState(key, func() (*Result, error) {
+			solves[key]++
+			return &Result{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now the LRU entry
+	get("c") // over cap: evicts b
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (the cap)", c.Len())
+	}
+	if !get("a") {
+		t.Error("recently-used entry was evicted")
+	}
+	if get("b") {
+		t.Error("LRU entry was not evicted")
+	}
+	if solves["a"] != 1 || solves["b"] != 2 || solves["c"] != 1 {
+		t.Errorf("solve counts %v, want a:1 b:2 c:1", solves)
+	}
+	// Unbounded cache (cap <= 0) never evicts.
+	u := NewCacheCap(0)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		u.GroundState(k, func() (*Result, error) { return &Result{}, nil })
+	}
+	if u.Len() != 4 {
+		t.Errorf("unbounded cache holds %d entries, want 4", u.Len())
+	}
+}
+
 // TestFingerprintSensitivity: the fingerprint must change when any field
 // that can change the converged orbitals changes, and must not change
 // otherwise.

@@ -226,19 +226,25 @@ func TestE2EHybridDistributed(t *testing.T) {
 
 // TestE2EPreemptResumeMatchesUninterrupted: preempt a running job
 // mid-trajectory over the API; the automatically resumed result matches
-// an uninterrupted run of the same spec to 1e-10.
+// an uninterrupted run of the same spec to 1e-10. The job runs under the
+// 380nm pulse, not the kick: the pulse envelope is shaped by the
+// trajectory length, so this pins that a resumed segment sees the
+// identical laser field (not one re-derived from the remaining steps).
 func TestE2EPreemptResumeMatchesUninterrupted(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full preempt/resume trajectory comparison: skipped in -short mode")
 	}
 	const steps = 30
-	spec := e2eSpec(steps)
+	pulsed := e2eSpec(steps)
+	pulsed.Kick = 0
+	pulsed.PulseE0 = 0.005
+	spec := pulsed
 	ref, err := sim.Run(&spec, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, ts := startE2E(t, Config{Workers: 1})
-	v := submit(t, ts, e2eSpec(steps))
+	v := submit(t, ts, pulsed)
 	// Preempt once the trajectory is well underway but far from done.
 	deadline := time.Now().Add(120 * time.Second)
 	for {
@@ -417,7 +423,9 @@ func TestE2ERestartResumesRealJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	a, err := New(Config{Workers: 1, Dir: dir})
+	// The periodic cadence exercises the crash-insurance path: rolling
+	// checkpoints plus the record persisted alongside each one.
+	a, err := New(Config{Workers: 1, Dir: dir, CkptEvery: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +450,7 @@ func TestE2ERestartResumesRealJob(t *testing.T) {
 		t.Fatalf("drained job is %s, want preempted", interrupted.State)
 	}
 
-	b, err := New(Config{Workers: 1, Dir: dir})
+	b, err := New(Config{Workers: 1, Dir: dir, CkptEvery: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package server
 
 import (
+	"sync"
 	"time"
 
 	"ptdft/internal/checkpoint"
@@ -84,6 +85,11 @@ type Job struct {
 	// server directory).
 	resume *checkpoint.State
 	roll   *checkpoint.Rolling
+
+	// persistMu serializes record writes for this job: a lifecycle
+	// transition and the streaming-cadence persist may race, and each
+	// write must install a complete snapshot.
+	persistMu sync.Mutex
 }
 
 // View is the JSON representation of a job in API responses.

@@ -38,11 +38,16 @@ func (s *Server) ckptPath(id string) string   { return filepath.Join(s.cfg.Dir, 
 
 // persist writes the job's current record (atomic rename). A no-op
 // without a server directory; a failed write is logged, not fatal - the
-// job still runs, it just will not survive a restart.
+// job still runs, it just will not survive a restart. Concurrent callers
+// (a lifecycle transition racing the streaming-cadence persist) are
+// serialized per job, each through its own temp file, so the rename only
+// ever installs a complete record.
 func (s *Server) persist(j *Job) {
 	if s.cfg.Dir == "" {
 		return
 	}
+	j.persistMu.Lock()
+	defer j.persistMu.Unlock()
 	s.mu.Lock()
 	rec := record{
 		ID: j.ID, Spec: j.Spec, State: j.State, Error: j.Err,
@@ -57,11 +62,20 @@ func (s *Server) persist(j *Job) {
 		return
 	}
 	path := s.recordPath(j.ID)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err == nil {
-		err = os.Rename(tmp, path)
+	tmp, err := os.CreateTemp(s.cfg.Dir, j.ID+".*.tmp")
+	if err != nil {
+		s.logf("job %s: persist: %v", j.ID, err)
+		return
+	}
+	_, err = tmp.Write(append(data, '\n'))
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
 	}
 	if err != nil {
+		os.Remove(tmp.Name())
 		s.logf("job %s: persist: %v", j.ID, err)
 	}
 }
@@ -70,6 +84,8 @@ func (s *Server) persist(j *Job) {
 // terminal jobs as queryable history, interrupted ones (queued, running,
 // preempted) back onto the queue with the newest loadable checkpoint as
 // their resume point. Queue order is submission order (sequential IDs).
+// An unreadable or corrupt record is quarantined (logged and skipped),
+// not fatal: one torn file must not refuse the whole directory.
 func (s *Server) adopt() error {
 	if s.cfg.Dir == "" {
 		return nil
@@ -83,16 +99,14 @@ func (s *Server) adopt() error {
 	}
 	sort.Strings(matches)
 	for _, path := range matches {
-		data, err := os.ReadFile(path)
+		rec, err := readRecord(path)
 		if err != nil {
-			return err
+			s.logf("adopt: quarantined %s: %v", path, err)
+			continue
 		}
-		var rec record
-		if err := json.Unmarshal(data, &rec); err != nil {
-			return fmt.Errorf("server: corrupt job record %s: %w", path, err)
-		}
-		if rec.ID == "" || s.jobs[rec.ID] != nil {
-			return fmt.Errorf("server: bad or duplicate job record %s", path)
+		if s.jobs[rec.ID] != nil {
+			s.logf("adopt: quarantined %s: duplicate job id %s", path, rec.ID)
+			continue
 		}
 		j := &Job{
 			ID: rec.ID, Spec: rec.Spec, State: rec.State, Err: rec.Error,
@@ -101,21 +115,36 @@ func (s *Server) adopt() error {
 			Feed:    observe.NewFeed(),
 			roll:    s.rollFor(rec.ID),
 		}
-		for _, smp := range rec.Samples {
-			j.Feed.Append(smp)
-		}
 		if n := idNumber(rec.ID); n > s.nextID {
 			s.nextID = n
 		}
 		if j.State.Terminal() {
+			for _, smp := range rec.Samples {
+				j.Feed.Append(smp)
+			}
 			j.Feed.Close()
 		} else {
 			// The process that ran this job is gone; whatever state it was
 			// in, it continues from its newest durable checkpoint (or from
-			// scratch if none was written).
+			// scratch if none was written). The replayed samples are
+			// truncated to the resume point: the record may have been
+			// persisted ahead of the checkpoint the job restarts from, and
+			// the resumed attempt re-streams everything past it.
+			limit := 0
 			if st, _, err := j.roll.Latest(); err == nil {
 				j.resume = st
+				if rec.Spec.MD {
+					limit = int(st.IonSteps)
+				} else {
+					limit = int(st.Step)
+				}
 			}
+			for _, smp := range rec.Samples {
+				if smp.Step <= limit {
+					j.Feed.Append(smp)
+				}
+			}
+			j.Metrics.StepsDone = limit
 			j.State = StateQueued
 			s.queue = append(s.queue, j.ID)
 		}
@@ -125,6 +154,22 @@ func (s *Server) adopt() error {
 		s.logf("adopted %d job record(s), %d requeued", len(s.jobs), len(s.queue))
 	}
 	return nil
+}
+
+// readRecord loads and validates one job record file.
+func readRecord(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("corrupt job record: %w", err)
+	}
+	if rec.ID == "" {
+		return nil, fmt.Errorf("job record without an id")
+	}
+	return &rec, nil
 }
 
 // idNumber extracts the sequence number of a job ID ("j000042" -> 42).

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -312,6 +315,139 @@ func TestPoolCancel(t *testing.T) {
 	if err := s.Cancel(queued.ID); err == nil {
 		t.Error("canceling a canceled job did not error")
 	}
+}
+
+// writeRecord drops one job record file into the server directory, the
+// way a crashed server would have left it.
+func writeRecord(t *testing.T, dir string, rec record) {
+	t.Helper()
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, rec.ID+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolZeroRemainderResumeCompletes: a checkpoint taken exactly at the
+// last step (a preempt/drain racing the final step, or a crash right
+// after it) re-adopts as a job with nothing left to run. It must go
+// straight to done - not fail spec validation on a zero-step segment, and
+// not invoke the simulation layer at all. The MD flavor is the sharp
+// case: a zero-ion-step segment would not even validate.
+func TestPoolZeroRemainderResumeCompletes(t *testing.T) {
+	dir := t.TempDir()
+	spec := fakeSpec(1, 0)
+	spec.MD = true
+	spec.IonSteps = 3
+	spec.IonDtAs = 96
+	writeRecord(t, dir, record{
+		ID: "j000001", Spec: spec, State: StateRunning,
+		SubmittedAt: time.Now().UTC(), StartedAt: time.Now().UTC(),
+		Metrics: Metrics{StepsDone: 3},
+		Samples: []observe.Sample{{Step: 1}, {Step: 2}, {Step: 3}},
+	})
+	roll := &checkpoint.Rolling{Base: filepath.Join(dir, "j000001.ckp")}
+	if err := roll.Save(&checkpoint.State{
+		Step: 12, IonSteps: 3, NBands: 1, NG: 2, Natom: 1, Ecut: spec.Ecut,
+		Psi: []complex128{1, 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeSim{}
+	s, err := newServer(Config{Workers: 1, Dir: dir}, f.run, f.solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.start()
+	defer s.Drain()
+	got := waitState(t, s, "j000001", StateDone)
+	if got.Metrics.StepsDone != 3 {
+		t.Errorf("steps_done %d, want 3", got.Metrics.StepsDone)
+	}
+	if len(got.Samples) != 3 {
+		t.Errorf("job record has %d samples, want 3", len(got.Samples))
+	}
+	f.mu.Lock()
+	started := len(f.started)
+	f.mu.Unlock()
+	if started != 0 {
+		t.Errorf("zero-remainder resume invoked the simulation layer %d times, want 0", started)
+	}
+}
+
+// TestPoolAdoptTruncatesOverPersistedSamples: the record on disk may be
+// newer than the checkpoint (the streaming-cadence persist runs just
+// before the checkpoint write). Adoption replays only the samples the
+// resume point covers, and the resumed attempt re-streams the rest - no
+// duplicate or out-of-order steps in the feed.
+func TestPoolAdoptTruncatesOverPersistedSamples(t *testing.T) {
+	dir := t.TempDir()
+	spec := fakeSpec(7, 5)
+	writeRecord(t, dir, record{
+		ID: "j000001", Spec: spec, State: StateRunning,
+		SubmittedAt: time.Now().UTC(), StartedAt: time.Now().UTC(),
+		Metrics: Metrics{StepsDone: 4},
+		Samples: []observe.Sample{{Step: 1}, {Step: 2}, {Step: 3}, {Step: 4}},
+	})
+	roll := &checkpoint.Rolling{Base: filepath.Join(dir, "j000001.ckp")}
+	if err := roll.Save(&checkpoint.State{
+		Step: 2, NBands: 1, NG: 2, Natom: 1, Ecut: spec.Ecut,
+		Psi: []complex128{1, 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeSim{}
+	s, err := newServer(Config{Workers: 1, Dir: dir}, f.run, f.solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.start()
+	defer s.Drain()
+	got := waitState(t, s, "j000001", StateDone)
+	if got.Metrics.StepsDone != 5 {
+		t.Errorf("steps_done %d, want 5", got.Metrics.StepsDone)
+	}
+	steps := make([]int, 0, len(got.Samples))
+	for _, smp := range got.Samples {
+		steps = append(steps, smp.Step)
+	}
+	if len(steps) != 5 {
+		t.Fatalf("feed has samples %v, want exactly 1..5", steps)
+	}
+	for i, st := range steps {
+		if st != i+1 {
+			t.Fatalf("feed has samples %v, want 1..5 with no duplicate from the over-persisted record", steps)
+		}
+	}
+}
+
+// TestPoolAdoptQuarantinesCorruptRecord: one torn record file (a crash
+// mid-write) is logged and skipped; it must not refuse startup for the
+// whole directory, and the healthy records are still adopted.
+func TestPoolAdoptQuarantinesCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "j000001.json"), []byte(`{"id":"j0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeRecord(t, dir, record{
+		ID: "j000002", Spec: fakeSpec(2, 1), State: StateDone,
+		SubmittedAt: time.Now().UTC(), FinishedAt: time.Now().UTC(),
+	})
+	f := &fakeSim{}
+	s, err := newServer(Config{Workers: 1, Dir: dir}, f.run, f.solve)
+	if err != nil {
+		t.Fatalf("corrupt record refused the whole directory: %v", err)
+	}
+	if _, ok := s.Get("j000002"); !ok {
+		t.Error("healthy record not adopted alongside the corrupt one")
+	}
+	if _, ok := s.Get("j000001"); ok {
+		t.Error("corrupt record adopted as a job")
+	}
+	s.start()
+	s.Drain()
 }
 
 // TestPoolRestartAdoption: a drained server's directory re-queues its

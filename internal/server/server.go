@@ -378,6 +378,13 @@ func (s *Server) attempt(j *Job) (*sim.Result, error) {
 		} else {
 			seg.Steps = j.Spec.Steps - int(resume.Step)
 		}
+		if seg.TotalSteps() <= 0 {
+			// The checkpoint already covers the whole trajectory (a
+			// preempt/drain that fired as the final step completed, or a
+			// restart adoption of a last-step checkpoint): nothing to run.
+			// An MD segment of zero ion steps would not even validate.
+			return &sim.Result{Psi: resume.Psi, Time: resume.Time, Final: resume}, nil
+		}
 	}
 
 	key, err := seg.SCFKey()
@@ -396,15 +403,27 @@ func (s *Server) attempt(j *Job) (*sim.Result, error) {
 		s.mu.Unlock()
 	}
 
+	segDone := 0
 	return s.run(&seg, sim.Options{
 		Stop:   stop,
 		Ground: gs,
 		Resume: resume,
+		// The pulse envelope is shaped by the TOTAL trajectory length, not
+		// this segment's remainder, so a resumed job propagates under the
+		// identical laser field as an uninterrupted run.
+		PulseSteps: j.Spec.Steps,
 		OnSample: func(smp observe.Sample) {
 			j.Feed.Append(smp)
 			s.mu.Lock()
 			j.Metrics.StepsDone = smp.Step
 			s.mu.Unlock()
+			// Persist the record on the periodic-checkpoint cadence, so a
+			// crash loses at most CkptEvery streamed samples: the replayed
+			// feed stays aligned with the checkpoint the job resumes from.
+			segDone++
+			if roll != nil && s.cfg.CkptEvery > 0 && segDone%s.cfg.CkptEvery == 0 {
+				s.persist(j)
+			}
 		},
 		Ckpt:      roll,
 		CkptEvery: s.cfg.CkptEvery,

@@ -57,6 +57,13 @@ type Options struct {
 	Ckpt      *checkpoint.Rolling
 	CkptEvery int
 	SavePath  string
+	// PulseSteps overrides the electronic step count the 380nm pulse
+	// envelope is shaped from (sigma = dt*PulseSteps/4, peak at 2*sigma).
+	// When the spec covers only a segment of a longer trajectory (a
+	// checkpoint resume), set it to the TOTAL length so every segment
+	// propagates under the identical laser field; the field is a function
+	// of absolute time, which the checkpoint carries. 0 means Spec.Steps.
+	PulseSteps int
 	// Logf receives progress notices (system, ground state, cadence,
 	// communication volume); nil silences them.
 	Logf func(format string, args ...any)
@@ -146,9 +153,13 @@ func Run(spec *Spec, opt Options) (*Result, error) {
 	var field laser.Field
 	switch {
 	case spec.PulseE0 != 0:
-		sigma := units.AttosecondsToAU(spec.DtAs) * float64(spec.Steps) / 4
+		pulseSteps := spec.Steps
+		if opt.PulseSteps > 0 {
+			pulseSteps = opt.PulseSteps
+		}
+		sigma := units.AttosecondsToAU(spec.DtAs) * float64(pulseSteps) / 4
 		field = laser.New380nm(spec.PulseE0, 2*sigma, sigma)
-		opt.logf("field: 380nm pulse, E0=%.4g Ha/bohr", spec.PulseE0)
+		opt.logf("field: 380nm pulse, E0=%.4g Ha/bohr, envelope over %d steps", spec.PulseE0, pulseSteps)
 	case spec.Kick != 0:
 		field = &laser.Kick{K: spec.Kick, Pol: [3]float64{0, 0, 1}}
 		opt.logf("field: delta kick A=%.4g au along z", spec.Kick)

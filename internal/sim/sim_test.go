@@ -174,6 +174,54 @@ func TestRunSplitEqualsContinuous(t *testing.T) {
 	}
 }
 
+// TestRunPulseSplitEqualsContinuous: the 380nm pulse envelope is a
+// function of the TOTAL trajectory length, so a segment resumed through a
+// checkpoint must propagate under the identical field as the
+// uninterrupted run - Options.PulseSteps carries the total when the
+// spec's step count is only the remainder.
+func TestRunPulseSplitEqualsContinuous(t *testing.T) {
+	pulsed := func(steps int) Spec {
+		s := testSpec()
+		s.Kick = 0
+		s.PulseE0 = 0.005
+		s.Steps = steps
+		return s
+	}
+	spec := pulsed(6)
+	cont, err := Run(&spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA := pulsed(3)
+	segA, err := Run(&specA, Options{PulseSteps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specB := pulsed(3)
+	segB, err := Run(&specB, Options{Ground: segA.Ground, Resume: segA.Final, PulseSteps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]observe.Sample{}, segA.Samples...), segB.Samples...)
+	if len(all) != len(cont.Samples) {
+		t.Fatalf("split yielded %d samples, continuous %d", len(all), len(cont.Samples))
+	}
+	for i := range all {
+		if d := math.Abs(all[i].Energy - cont.Samples[i].Energy); d > 1e-10 {
+			t.Errorf("sample %d: energy differs by %g - the resumed segment saw a different laser field", i, d)
+		}
+	}
+	var maxd float64
+	for i := range cont.Psi {
+		if d := cmplx.Abs(segB.Psi[i] - cont.Psi[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-10 {
+		t.Errorf("split and continuous orbitals differ by %g, want <= 1e-10", maxd)
+	}
+}
+
 // TestRunStopAndStream: the Stop channel ends the run after the step in
 // flight; OnSample saw exactly the completed steps, in order.
 func TestRunStopAndStream(t *testing.T) {
