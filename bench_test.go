@@ -33,6 +33,7 @@ import (
 	"ptdft/internal/potential"
 	"ptdft/internal/pseudo"
 	"ptdft/internal/scf"
+	"ptdft/internal/trace"
 	"ptdft/internal/units"
 	"ptdft/internal/wavefunc"
 	"ptdft/internal/xc"
@@ -834,6 +835,97 @@ func BenchmarkMTSStep(b *testing.B) {
 				b.Logf("bench record not written: %v", err)
 			}
 		})
+	}
+}
+
+// Observability overhead (PR 10): the same hybrid ACE PT-CN step on 2
+// real ranks, once with every recording site on the nil disabled path
+// ("untraced") and once with a live flight recorder attached to both
+// ranks ("traced"). The two arms run identical code - only the recorder
+// differs - so the recorded median-step ratio prices the tracing layer
+// itself: span begin/end bookkeeping on every step, SCF iteration,
+// exchange application, FFT and message. The trajectory check pins the
+// enabled overhead at <= 3%; the disabled path is priced separately by
+// BenchmarkTraceDisabledPath (zero allocations, sub-ns per site).
+func BenchmarkDistStep(b *testing.B) {
+	g, psi0, nb := fixture(b)
+	kick := &laser.Kick{K: 0.02, Pol: [3]float64{0, 0, 1}}
+	const ranks, cycle = 2, 4
+	const dt = 1.0
+	opt := dist.ExchangeOptions{Strategy: dist.BcastOverlapped, ACE: true}
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{
+		{"untraced", false},
+		{"traced", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var stepNs []float64
+			oneCycle := func() {
+				// A fresh recorder per cycle bounds the span buffers; the
+				// untraced arm passes nil tracks through the same calls.
+				var rec *trace.Recorder
+				if mode.traced {
+					rec = trace.NewRecorder()
+				}
+				mpi.Run(ranks, func(c *mpi.Comm) {
+					c.SetTrace(rec.Track(c.Rank(), fmt.Sprintf("rank %d", c.Rank())))
+					d, err := dist.NewCtx(c, g, nb, 2)
+					if err != nil {
+						panic(err)
+					}
+					h := hamiltonian.New(g, siPots(), hamiltonian.Config{})
+					s := dist.NewPTCNSolver(d, h, xc.HSE06(), true, kick, core.DefaultPTCN(), opt)
+					lo, hi := d.BandRange(c.Rank())
+					local := wavefunc.Clone(psi0[lo*g.NG : hi*g.NG])
+					for step := 0; step < cycle; step++ {
+						start := time.Now()
+						if local, _, err = s.Step(local, dt); err != nil {
+							panic(err)
+						}
+						if c.Rank() == 0 {
+							stepNs = append(stepNs, float64(time.Since(start).Nanoseconds()))
+						}
+					}
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				oneCycle()
+			}
+			b.StopTimer()
+			med := median(stepNs)
+			b.ReportMetric(med, "ns/step-median")
+			allocs := processAllocs(oneCycle) / cycle
+			if err := perf.RecordMeasurement("BENCH_fock.json", b.Name(), med, allocs, g.N, nb, parallel.MaxWorkers()); err != nil {
+				b.Logf("bench record not written: %v", err)
+			}
+		})
+	}
+}
+
+// BenchmarkTraceDisabledPath prices one untraced instrumentation site:
+// a Begin/End pair on a nil *trace.Track, which is what every recording
+// site in the solver and comm layers degenerates to when no recorder is
+// attached. The contract the trajectory check pins is zero allocations -
+// the whole disabled path is two nil checks.
+func BenchmarkTraceDisabledPath(b *testing.B) {
+	var tr *trace.Track
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := tr.Begin("step", "step")
+		tr.End(ref)
+	}
+	b.StopTimer()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ref := tr.Begin("step", "step")
+		tr.End(ref)
+	})
+	if err := perf.RecordMeasurement("BENCH_fock.json", b.Name(), float64(b.Elapsed().Nanoseconds())/float64(b.N), allocs, [3]int{0, 0, 0}, 0, parallel.MaxWorkers()); err != nil {
+		b.Logf("bench record not written: %v", err)
 	}
 }
 

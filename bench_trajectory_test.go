@@ -163,4 +163,28 @@ func TestBenchTrajectoryRecordsImprovement(t *testing.T) {
 			t.Errorf("%s: recorded steal (%.0f ns) slower than overlapped broadcast (%.0f ns)", pt, st.NsPerOp, ov.NsPerOp)
 		}
 	}
+
+	// The flight-recorder overhead (label pr10-trace): the traced and
+	// untraced arms of BenchmarkDistStep run the identical hybrid ACE
+	// PT-CN step on 2 ranks - only the attached recorder differs - and
+	// the recorded median step with tracing enabled must stay within 3%
+	// of the untraced one. The disabled path (every site when no recorder
+	// is attached) is pinned allocation-free: observability that is not
+	// asked for must cost nothing.
+	untraced, okU := bf.Find("BenchmarkDistStep/untraced", "pr10-trace")
+	traced, okT2 := bf.Find("BenchmarkDistStep/traced", "pr10-trace")
+	switch {
+	case !okU || !okT2:
+		t.Errorf("pr10-trace trajectory incomplete: untraced=%v traced=%v", okU, okT2)
+	case traced.NsPerOp > 1.03*untraced.NsPerOp:
+		t.Errorf("recorded tracing overhead %.1f%% > 3%% (%.0f -> %.0f ns/step)",
+			100*(traced.NsPerOp/untraced.NsPerOp-1), untraced.NsPerOp, traced.NsPerOp)
+	}
+	disabled, okD := bf.Find("BenchmarkTraceDisabledPath", "pr10-trace")
+	switch {
+	case !okD:
+		t.Errorf("pr10-trace trajectory incomplete: BenchmarkTraceDisabledPath missing")
+	case disabled.AllocsPerOp != 0:
+		t.Errorf("recorded disabled-path cost %.1f allocs/op, want 0", disabled.AllocsPerOp)
+	}
 }

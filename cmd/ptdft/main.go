@@ -42,12 +42,15 @@ import (
 // simulation; the rest is presentation (CSV, quiet), persistence paths,
 // and runtime wiring (signals, test hooks).
 type config struct {
-	spec      sim.Spec
-	csvPath   string
-	quiet     bool
-	savePath  string
-	loadPath  string
-	ckptEvery int
+	spec       sim.Spec
+	csvPath    string
+	quiet      bool
+	savePath   string
+	loadPath   string
+	ckptEvery  int
+	traceFile  string
+	commFile   string
+	profReport bool
 
 	// Runtime wiring, not flags. stop is closed on SIGINT/SIGTERM (or by a
 	// test); the drivers finish the step in flight, checkpoint, and return.
@@ -85,6 +88,9 @@ func parseFlags() (*config, error) {
 	flag.IntVar(&s.IonSteps, "ionsteps", 10, "number of ion MD steps (with -md; replaces -steps as the trajectory length)")
 	flag.Float64Var(&s.IonDtAs, "iondt", 96, "ion time step in attoseconds (with -md); must be an integer multiple of -dt")
 	flag.StringVar(&s.Displace, "displace", "", "displace one atom before the ground state: i:dx,dy,dz (Bohr), e.g. 0:0.2,0,0")
+	flag.StringVar(&c.traceFile, "tracefile", "", "record a per-rank span timeline and write it here as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+	flag.StringVar(&c.commFile, "commfile", "", "write the per-rank send/recv byte matrices here as JSON (distributed runs; the heat-map dump)")
+	flag.BoolVar(&c.profReport, "profilereport", false, "print the flight-recorder phase breakdown (span-level Table 1) after the run")
 	flag.Parse()
 	parts := strings.Split(*cellsStr, ",")
 	if len(parts) != 3 {
@@ -141,6 +147,13 @@ func main() {
 func run(cfg *config) error {
 	spec := &cfg.spec
 	prof := trace.New()
+	// The flight recorder is allocated only when a trace surface was
+	// requested, so the default run keeps every recording site on its
+	// zero-alloc disabled path.
+	var rec *trace.Recorder
+	if cfg.traceFile != "" || cfg.profReport {
+		rec = trace.NewRecorder()
+	}
 
 	var loaded *checkpoint.State
 	if cfg.loadPath != "" {
@@ -176,6 +189,7 @@ func run(cfg *config) error {
 		Stop:       cfg.stop,
 		AfterStep:  cfg.afterStep,
 		OnSample:   func(s observe.Sample) { prof.Add(stepLabel, s.WallSec) },
+		Trace:      rec,
 		PulseSteps: pulseSteps,
 		Resume:     loaded,
 		Ckpt:       roll,
@@ -208,6 +222,42 @@ func run(cfg *config) error {
 	}
 	fmt.Println()
 	prof.Report(os.Stdout)
+	if cfg.profReport {
+		fmt.Printf("\nflight recorder: %.3f rank-seconds busy", res.RankSeconds)
+		if res.BytesMoved > 0 {
+			fmt.Printf(", %.1f MB moved", float64(res.BytesMoved)/1e6)
+		}
+		fmt.Println()
+		rec.Profile().Report(os.Stdout)
+	}
+	if cfg.traceFile != "" {
+		f, err := os.Create(cfg.traceFile)
+		if err != nil {
+			return err
+		}
+		err = rec.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace file: %w", err)
+		}
+		fmt.Printf("wrote %s (Chrome trace-event JSON; open in chrome://tracing or Perfetto)\n", cfg.traceFile)
+	}
+	if cfg.commFile != "" {
+		if res.Comm == nil {
+			fmt.Fprintln(os.Stderr, "-commfile: serial run moved no MPI bytes; skipping the matrix dump")
+		} else {
+			data, err := res.Comm.MatrixJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.commFile, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (per-rank send/recv byte matrices)\n", cfg.commFile)
+		}
+	}
 	if cfg.csvPath != "" {
 		if err := writeCSV(cfg.csvPath, res.Samples); err != nil {
 			return err

@@ -11,6 +11,8 @@
 //	curl -N localhost:8321/jobs/j000001/stream
 //	curl -X POST localhost:8321/jobs/j000001/preempt
 //	curl -X DELETE localhost:8321/jobs/j000001
+//	curl localhost:8321/jobs/j000001/profile   # phase breakdown + comm accounting
+//	curl localhost:8321/metrics                # Prometheus text exposition
 //
 // SIGINT/SIGTERM drains gracefully: running jobs finish their step in
 // flight and checkpoint, queued jobs stay queued on disk, and the next
@@ -56,7 +58,7 @@ func run(addr string, workers int, dir string, ckptEvery int) error {
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		logf("ptdftd listening on %s (%d workers)", addr, workers)
+		logf("ptdftd listening on %s (%d workers); metrics at %s/metrics", addr, workers, addr)
 		errc <- hs.ListenAndServe()
 	}()
 	sig := make(chan os.Signal, 1)

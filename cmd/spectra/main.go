@@ -21,6 +21,7 @@ import (
 	"ptdft/internal/observe"
 	"ptdft/internal/pseudo"
 	"ptdft/internal/scf"
+	"ptdft/internal/trace"
 	"ptdft/internal/units"
 	"ptdft/internal/xc"
 )
@@ -34,15 +35,16 @@ func main() {
 	omegaMaxEV := flag.Float64("wmax", 15, "spectrum range (eV)")
 	nw := flag.Int("nw", 150, "frequency points")
 	eta := flag.Float64("eta", 0.005, "damping (au)")
+	traceFile := flag.String("tracefile", "", "record the propagation's span timeline and write it here as Chrome trace-event JSON")
 	flag.Parse()
 
-	if err := run(*ecut, *dtAs, *steps, *kick, *hybrid, *omegaMaxEV, *nw, *eta); err != nil {
+	if err := run(*ecut, *dtAs, *steps, *kick, *hybrid, *omegaMaxEV, *nw, *eta, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(ecut, dtAs float64, steps int, kick float64, hybrid bool, wmaxEV float64, nw int, eta float64) error {
+func run(ecut, dtAs float64, steps int, kick float64, hybrid bool, wmaxEV float64, nw int, eta float64, traceFile string) error {
 	cell := lattice.MustSiliconSupercell(1, 1, 1)
 	g, err := grid.New(cell, ecut)
 	if err != nil {
@@ -58,8 +60,15 @@ func run(ecut, dtAs float64, steps int, kick float64, hybrid bool, wmaxEV float6
 	fmt.Fprintf(os.Stderr, "ground state E = %.6f Ha; propagating %d steps of %.1f as\n",
 		gs.Energy.Total(), steps, dtAs)
 
+	var rec *trace.Recorder
+	if traceFile != "" {
+		rec = trace.NewRecorder()
+	}
+	tr := rec.Track(0, "rank 0")
+	h.SetTrace(tr)
+
 	field := &laser.Kick{K: kick, Pol: [3]float64{0, 0, 1}}
-	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: field}
+	sys := &core.System{G: g, H: h, NB: nb, Occ: 2, Field: field, Tr: tr}
 	p := core.NewPTCN(sys, core.DefaultPTCN())
 	dt := units.AttosecondsToAU(dtAs)
 
@@ -89,6 +98,20 @@ func run(ecut, dtAs float64, steps int, kick float64, hybrid bool, wmaxEV float6
 	fmt.Println("# omega_eV  Re_sigma(arb)")
 	for i := range omegas {
 		fmt.Printf("%10.4f %14.6e\n", omegas[i]*units.EVPerHartree, sigma[i])
+	}
+	if rec != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		err = rec.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace file: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (Chrome trace-event JSON)\n", traceFile)
 	}
 	return nil
 }

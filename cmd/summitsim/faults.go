@@ -24,6 +24,7 @@ import (
 	"ptdft/internal/lattice"
 	"ptdft/internal/mpi"
 	"ptdft/internal/pseudo"
+	"ptdft/internal/trace"
 	"ptdft/internal/wavefunc"
 	"ptdft/internal/xc"
 )
@@ -32,9 +33,9 @@ import (
 // under the resilient supervisor, crashing `victim` before step
 // `crashStep` on the first attempt (victim < 0 disables the fault), and
 // returns the result plus the wall time.
-func faultRun(g *grid.Grid, psi []complex128, nb, ranks, steps, every int, victim int, crashStep int64, dir string) (*dist.ResilientResult, time.Duration, error) {
+func faultRun(g *grid.Grid, psi []complex128, nb, ranks, steps, every int, victim int, crashStep int64, dir string, rec *trace.Recorder) (*dist.ResilientResult, time.Duration, error) {
 	cfg := dist.ResilientConfig{
-		Ranks: ranks, G: g, NB: nb,
+		Ranks: ranks, G: g, NB: nb, Trace: rec,
 		NewHamiltonian: func() *hamiltonian.Hamiltonian {
 			return hamiltonian.New(g, map[int]*pseudo.Potential{0: pseudo.SiliconAH()}, hamiltonian.Config{})
 		},
@@ -65,7 +66,7 @@ func faultRun(g *grid.Grid, psi []complex128, nb, ranks, steps, every int, victi
 	return res, time.Since(t0), err
 }
 
-func faults() {
+func faults(rec *trace.Recorder) {
 	cell := lattice.MustSiliconSupercell(1, 1, 1)
 	g := grid.MustNew(cell, 2)
 	nb := cell.NumBands()
@@ -84,7 +85,7 @@ func faults() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	_, cleanWall, err := faultRun(g, psi, nb, ranks, steps, 4, -1, 0, cleanDir)
+	_, cleanWall, err := faultRun(g, psi, nb, ranks, steps, 4, -1, 0, cleanDir, rec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -101,7 +102,7 @@ func faults() {
 				os.Exit(1)
 			}
 			victim := int(crash) % ranks
-			res, wall, err := faultRun(g, psi, nb, ranks, steps, every, victim, crash, cellDir)
+			res, wall, err := faultRun(g, psi, nb, ranks, steps, every, victim, crash, cellDir, rec)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

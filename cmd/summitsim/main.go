@@ -32,12 +32,14 @@ import (
 	"os"
 
 	"ptdft/internal/perf"
+	"ptdft/internal/trace"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to regenerate (table1,table2,fig3,fig6,fig7,fig8,fig9,fig10,power,flops,all; sched and faults measure the real distributed code and run only when named)")
 	natom := flag.Int("natoms", 1536, "silicon system size (atoms)")
 	stragglerFactor := flag.Float64("straggler", 2.0, "compute slowdown of rank 0 in the sched experiment's straggler rows")
+	traceFile := flag.String("tracefile", "", "with -experiment sched or faults: record the measured runs' per-rank span timeline and write it here as Chrome trace-event JSON")
 	flag.Parse()
 
 	m := perf.New(perf.SiliconSystem(*natom))
@@ -83,19 +85,46 @@ func main() {
 		flops(m)
 		any = true
 	}
-	// Measured, not modeled: only run when asked for by name.
+	// Measured, not modeled: only run when asked for by name. These are
+	// the experiments a timeline dump makes sense for - they drive the
+	// real goroutine-MPI runtime, so -tracefile captures every world the
+	// experiment launched on shared per-rank tracks.
+	var rec *trace.Recorder
+	if *traceFile != "" && (*experiment == "sched" || *experiment == "faults") {
+		rec = trace.NewRecorder()
+	}
 	if *experiment == "sched" {
-		sched(*stragglerFactor)
+		sched(*stragglerFactor, rec)
 		any = true
 	}
 	if *experiment == "faults" {
-		faults()
+		faults(rec)
 		any = true
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+	if rec != nil {
+		if err := dumpTrace(rec, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (Chrome trace-event JSON; open in chrome://tracing or Perfetto)\n", *traceFile)
+	}
+}
+
+// dumpTrace writes the recorder's timeline as Chrome trace-event JSON.
+func dumpTrace(rec *trace.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rec.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func header(title string) {

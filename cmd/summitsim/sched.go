@@ -18,6 +18,7 @@ import (
 	"ptdft/internal/lattice"
 	"ptdft/internal/mpi"
 	"ptdft/internal/parallel"
+	"ptdft/internal/trace"
 	"ptdft/internal/wavefunc"
 	"ptdft/internal/xc"
 )
@@ -25,11 +26,14 @@ import (
 // schedWall times `reps` applications of the distributed exchange on
 // `ranks` ranks under the given perturbation, returning the steady-state
 // wall time per application (workspaces warmed before the clock starts).
-func schedWall(g *grid.Grid, psi []complex128, nb, ranks int, opt dist.ExchangeOptions, p *mpi.Perturb, reps int) time.Duration {
+func schedWall(g *grid.Grid, psi []complex128, nb, ranks int, opt dist.ExchangeOptions, p *mpi.Perturb, reps int, rec *trace.Recorder) time.Duration {
 	hyb := xc.HSE06()
 	kernel := fock.BuildKernel(g, hyb)
 	var el atomic.Int64
 	mpi.RunPerturbed(ranks, p, func(c *mpi.Comm) {
+		// Every measured world shares per-rank tracks (Track is idempotent
+		// per id), so one -tracefile covers the whole sweep in sequence.
+		c.SetTrace(rec.Track(c.Rank(), fmt.Sprintf("rank %d", c.Rank())))
 		d, err := dist.NewCtx(c, g, nb, 2)
 		if err != nil {
 			panic(err)
@@ -64,7 +68,7 @@ func straggle(factor float64) *mpi.Perturb {
 	}}
 }
 
-func sched(stragglerFactor float64) {
+func sched(stragglerFactor float64, rec *trace.Recorder) {
 	// One worker per rank isolates the schedule under measurement: rank-
 	// level balance, not node-level thread fan-out.
 	defer parallel.SetMaxWorkers(parallel.SetMaxWorkers(1))
@@ -84,7 +88,7 @@ func sched(stragglerFactor float64) {
 	for _, f := range []float64{1.0, 1.5, stragglerFactor, 2 * stragglerFactor} {
 		fmt.Printf("%-12s", fmt.Sprintf("%gx", f))
 		for _, s := range strategies {
-			w := schedWall(g, psi, nb, 8, dist.ExchangeOptions{Strategy: s}, straggle(f), reps)
+			w := schedWall(g, psi, nb, 8, dist.ExchangeOptions{Strategy: s}, straggle(f), reps, rec)
 			fmt.Printf("%12.2f", float64(w)/1e6)
 		}
 		fmt.Println()
@@ -104,7 +108,7 @@ func sched(stragglerFactor float64) {
 		}
 		fmt.Printf("%-12v", d)
 		for _, s := range strategies {
-			w := schedWall(g, psi, nb, 8, dist.ExchangeOptions{Strategy: s}, p, reps)
+			w := schedWall(g, psi, nb, 8, dist.ExchangeOptions{Strategy: s}, p, reps, rec)
 			fmt.Printf("%12.2f", float64(w)/1e6)
 		}
 		fmt.Println()
@@ -113,8 +117,8 @@ func sched(stragglerFactor float64) {
 	header(fmt.Sprintf("Sched C: strong scaling under a %gx straggler (ms per exchange)", stragglerFactor))
 	fmt.Printf("%10s %12s %12s %10s\n", "ranks", "overlap", "steal", "steal win")
 	for _, ranks := range []int{1, 2, 4, 8} {
-		ov := schedWall(g, psi, nb, ranks, dist.ExchangeOptions{Strategy: dist.BcastOverlapped}, straggle(stragglerFactor), reps)
-		st := schedWall(g, psi, nb, ranks, dist.ExchangeOptions{Strategy: dist.Steal}, straggle(stragglerFactor), reps)
+		ov := schedWall(g, psi, nb, ranks, dist.ExchangeOptions{Strategy: dist.BcastOverlapped}, straggle(stragglerFactor), reps, rec)
+		st := schedWall(g, psi, nb, ranks, dist.ExchangeOptions{Strategy: dist.Steal}, straggle(stragglerFactor), reps, rec)
 		fmt.Printf("%10d %12.2f %12.2f %9.2fx\n", ranks, float64(ov)/1e6, float64(st)/1e6, float64(ov)/float64(st))
 	}
 
@@ -123,8 +127,8 @@ func sched(stragglerFactor float64) {
 	for _, ranks := range []int{1, 2, 4, 8} {
 		wnb := 4 * ranks
 		wpsi := wavefunc.Random(g, wnb, 7)
-		ov := schedWall(g, wpsi, wnb, ranks, dist.ExchangeOptions{Strategy: dist.BcastOverlapped}, nil, reps)
-		st := schedWall(g, wpsi, wnb, ranks, dist.ExchangeOptions{Strategy: dist.Steal}, nil, reps)
+		ov := schedWall(g, wpsi, wnb, ranks, dist.ExchangeOptions{Strategy: dist.BcastOverlapped}, nil, reps, rec)
+		st := schedWall(g, wpsi, wnb, ranks, dist.ExchangeOptions{Strategy: dist.Steal}, nil, reps, rec)
 		// The static schedule solves nb x nb/P pairs per rank; the steal
 		// triangle halves the global solve count.
 		ovPairs := float64(wnb*wnb) / float64(ranks)

@@ -27,6 +27,7 @@ import (
 	"ptdft/internal/linalg"
 	"ptdft/internal/mixing"
 	"ptdft/internal/potential"
+	"ptdft/internal/trace"
 	"ptdft/internal/wavefunc"
 )
 
@@ -37,6 +38,12 @@ type System struct {
 	NB    int         // occupied orbitals
 	Occ   float64     // orbital occupation (2 for closed shell)
 	Field laser.Field // external vector potential; nil for none
+
+	// Tr is the serial driver's span track ("rank 0" of the flight
+	// recorder); nil disables recording. The propagators open step and
+	// SCF-iteration spans on it; exchange-level spans come from the
+	// Hamiltonian's forwarded copy.
+	Tr *trace.Track
 }
 
 // Prepare refreshes every time- and state-dependent piece of H for the
@@ -194,6 +201,8 @@ func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, erro
 	g, h, nb := s.G, s.H, s.NB
 	ng := g.NG
 	var stats StepStats
+	stepRef := s.Tr.Begin("step", "step")
+	defer s.Tr.EndN(stepRef, int64(p.StepIndex))
 
 	// Exchange refresh cadence. MTS outer steps freeze the operator at
 	// Psi_n; the hold makes every SetFockOrbitals below (and in the
@@ -230,6 +239,7 @@ func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, erro
 	tNext := p.Time + dt
 	converged := false
 	for j := 0; j < p.Opt.MaxSCF; j++ {
+		iterRef := s.Tr.Begin("scf_iter", "solver")
 		// Line 5: refresh H_f from the current iterate.
 		s.PrepareWithDensity(psif, rhof, tNext)
 
@@ -251,6 +261,7 @@ func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, erro
 		stats.DensityError = potential.DensityDiff(g, rhoNew, rhof, s.Occ*float64(nb))
 		rhof = rhoNew
 		stats.SCFIterations++
+		s.Tr.EndN(iterRef, int64(j))
 		if stats.DensityError < p.Opt.TolDensity {
 			converged = true
 			break
@@ -262,10 +273,13 @@ func (p *PTCN) Step(psi []complex128, dt float64) ([]complex128, StepStats, erro
 	}
 
 	// Line 11: re-orthogonalize.
+	orthRef := s.Tr.Begin("orthonormalize", "solver")
 	stats.OrthogonalityE = wavefunc.OrthonormalityError(psif, nb, ng)
 	if err := wavefunc.Orthonormalize(psif, nb, ng); err != nil {
+		s.Tr.End(orthRef)
 		return nil, stats, fmt.Errorf("core: orthogonalization failed: %w", err)
 	}
+	s.Tr.End(orthRef)
 	p.Time = tNext
 	p.StepIndex++
 	return psif, stats, nil
@@ -308,6 +322,8 @@ func (r *RK4) Step(psi []complex128, dt float64) ([]complex128, StepStats, error
 	if r.Sys.H.FockHeld() {
 		r.Sys.H.ReleaseFockHold()
 	}
+	stepRef := r.Sys.Tr.Begin("step", "step")
+	defer r.Sys.Tr.EndN(stepRef, int64(r.steps))
 	n := len(psi)
 	var stats StepStats
 	add := func(base []complex128, k []complex128, c float64) []complex128 {

@@ -86,6 +86,8 @@ func (d *Ctx) NewACE() *ACE {
 // than silently falling back to the exact operator.
 func (a *ACE) Rebuild(phi, phiG []complex128, kernel []float64, alpha float64, opt ExchangeOptions, ex *ExchangeWorkspace) error {
 	d := a.d
+	ref := d.C.Trace().Begin("ace_build", "solver")
+	defer d.C.Trace().End(ref)
 	nb := a.nb
 	w := d.NumLocalG()
 
@@ -134,6 +136,8 @@ func (a *ACE) ApplyFromG(dst, psiG []complex128) {
 		panic("dist: ACE applied before Rebuild")
 	}
 	d := a.d
+	ref := d.C.Trace().Begin("ace_apply", "solver")
+	defer d.C.Trace().End(ref)
 	nb := a.nb
 	w := d.NumLocalG()
 

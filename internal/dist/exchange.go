@@ -244,6 +244,8 @@ func (d *Ctx) FockExchange(phi, psi []complex128, kernel []float64, alpha float6
 // slice is ws.vx: it stays valid until the next call with the same
 // workspace. Collective.
 func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha float64, opt ExchangeOptions, ws *ExchangeWorkspace) []complex128 {
+	exRef := d.C.Trace().Begin("exchange", "solver")
+	defer d.C.Trace().End(exRef)
 	ng := d.G.NG
 	ntot := d.G.NTot
 	nbl := d.NumLocalBands()
@@ -261,6 +263,7 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 	// Real-space local psi bands and accumulators, computed once. The
 	// nw <= 1 branches run the loops inline - no closures, no goroutines -
 	// which is the zero-allocation steady state the solver alloc test pins.
+	fftRef := d.C.Trace().Begin("fft_to_real", "fft")
 	if nw <= 1 {
 		for j := 0; j < nbl; j++ {
 			d.G.ToRealSlabWS(ws.psiReal.Row(j, ntot), psi[j*ng:(j+1)*ng], ws.fft[0])
@@ -270,6 +273,7 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 			d.G.ToRealSlabWS(ws.psiReal.Row(j, ntot), psi[j*ng:(j+1)*ng], ws.fft[w])
 		})
 	}
+	d.C.Trace().EndN(fftRef, int64(nbl))
 	ws.acc.Zero()
 
 	switch opt.Strategy {
@@ -283,6 +287,7 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 		d.exchangeBcastSequential(phi, opt.SinglePrecision, ws)
 	}
 
+	fftRef = d.C.Trace().Begin("fft_from_real", "fft")
 	if nw <= 1 {
 		for j := 0; j < nbl; j++ {
 			d.G.FromRealSlabWS(ws.vx[j*ng:(j+1)*ng], ws.acc.Row(j, ntot), ws.fft[0])
@@ -292,6 +297,7 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 			d.G.FromRealSlabWS(ws.vx[j*ng:(j+1)*ng], ws.acc.Row(j, ntot), ws.fft[w])
 		})
 	}
+	d.C.Trace().EndN(fftRef, int64(nbl))
 	// Contributions other ranks computed for our bands arrive on the sphere
 	// (the steal reduce runs after the claim loop), so they join after the
 	// accumulator projection above.
@@ -313,6 +319,8 @@ func (d *Ctx) FockExchangeWS(phi, psi []complex128, kernel []float64, alpha floa
 func (ws *ExchangeWorkspace) process(band []complex128) {
 	d := ws.g
 	ntot := d.G.NTot
+	ref := d.C.Trace().Begin("contract", "fock")
+	defer d.C.Trace().End(ref)
 	t0 := d.C.WorkStart() // straggler model: stretch this rank's fold work
 	d.G.ToRealSlabWS(ws.phiR, band, ws.fftPhi)
 	if parallel.NumWorkers(ws.nbl) <= 1 {

@@ -23,6 +23,7 @@ import (
 	"ptdft/internal/hamiltonian"
 	"ptdft/internal/laser"
 	"ptdft/internal/mpi"
+	"ptdft/internal/trace"
 	"ptdft/internal/wavefunc"
 	"ptdft/internal/xc"
 )
@@ -70,6 +71,12 @@ type ResilientConfig struct {
 	// is the first launch). Either may be nil.
 	FaultFor   func(attempt int) *mpi.Fault
 	PerturbFor func(attempt int) *mpi.Perturb
+
+	// Trace, when set, records one span track per rank across every
+	// attempt: Track(id) is idempotent, so a relaunched rank appends to
+	// the same timeline and the export shows the crash, the gap, and the
+	// recovery replay in sequence.
+	Trace *trace.Recorder
 
 	// Logf receives recovery-timeline notices (nil silences them).
 	Logf func(format string, args ...any)
@@ -168,6 +175,7 @@ func RunResilient(cfg ResilientConfig) (*ResilientResult, error) {
 		var final *checkpoint.State
 		var appErr, saveErr error
 		_, fail := mpi.RunTolerant(cfg.Ranks, p, func(c *mpi.Comm) {
+			c.SetTrace(cfg.Trace.Track(c.Rank(), fmt.Sprintf("rank %d", c.Rank())))
 			d, err := NewCtx(c, cfg.G, cfg.NB, 2)
 			if err != nil {
 				if c.Rank() == 0 {

@@ -128,9 +128,11 @@ func (s *PTCNSolver) exScale() float64 {
 // grid, then MPI_Allreduce in deterministic rank order so every rank holds
 // bit-identical data. Collective.
 func (s *PTCNSolver) density(local []complex128) []float64 {
+	ref := s.D.C.Trace().Begin("density", "solver")
 	nbl := len(local) / s.D.G.NG
 	rho := potential.Density(s.D.G, local, nbl, s.Occ)
 	mpi.AllreduceSum(s.D.C, tagDensity, rho)
+	s.D.C.Trace().End(ref)
 	return rho
 }
 
@@ -300,6 +302,8 @@ func (s *PTCNSolver) applyH(hp, local, localG []complex128) error {
 // result transposed back - three Alltoallv and one Allreduce per call
 // (Fig. 1's data path).
 func (s *PTCNSolver) residual(local []complex128) ([]complex128, error) {
+	ref := s.D.C.Trace().Begin("residual", "solver")
+	defer s.D.C.Trace().End(ref)
 	nb := s.D.NB
 	ws := s.stepWS()
 	s.D.BandToGWS(ws.psiG, local, false, ws.tw)
@@ -323,6 +327,8 @@ func (s *PTCNSolver) residual(local []complex128) ([]complex128, error) {
 // 3.4). It returns the new block and the pre-factorization orthonormality
 // error.
 func (s *PTCNSolver) orthonormalize(local []complex128) ([]complex128, float64, error) {
+	ref := s.D.C.Trace().Begin("orthonormalize", "solver")
+	defer s.D.C.Trace().End(ref)
 	nb := s.D.NB
 	ws := s.stepWS()
 	s.D.BandToGWS(ws.psiG, local, false, ws.tw)
@@ -354,6 +360,8 @@ func (s *PTCNSolver) orthonormalize(local []complex128) ([]complex128, float64, 
 // must call it together; the convergence decision is made on the global
 // density, so success and failure are symmetric across ranks.
 func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.StepStats, error) {
+	stepRef := s.D.C.Trace().Begin("step", "step")
+	defer s.D.C.Trace().EndN(stepRef, int64(s.stepIndex))
 	var stats core.StepStats
 	ws := s.stepWS()
 	// Exchange refresh cadence. Outer steps (every step without MTS; every
@@ -394,9 +402,11 @@ func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.St
 	tNext := s.Time + dt
 	converged := false
 	for j := 0; j < s.Opt.MaxSCF; j++ {
+		iterRef := s.D.C.Trace().Begin("scf_iter", "solver")
 		s.prepare(rhof, tNext)
 		rf, err := s.residual(psif)
 		if err != nil {
+			s.D.C.Trace().EndN(iterRef, int64(j))
 			return nil, stats, err
 		}
 		stats.HApplications++
@@ -409,6 +419,7 @@ func (s *PTCNSolver) Step(local []complex128, dt float64) ([]complex128, core.St
 		stats.DensityError = potential.DensityDiff(s.D.G, rhoNew, rhof, s.Occ*float64(s.D.NB))
 		rhof = rhoNew
 		stats.SCFIterations++
+		s.D.C.Trace().EndN(iterRef, int64(j))
 		if stats.DensityError < s.Opt.TolDensity {
 			converged = true
 			break
@@ -454,6 +465,8 @@ func (s *PTCNSolver) GlobalDensity(local []complex128) []float64 {
 // rank. The nonlocal projector force is accumulated per band, so each rank
 // contributes its band block's share. Collective.
 func (s *PTCNSolver) AllreduceForces(f [][3]float64) {
+	ref := s.D.C.Trace().Begin("forces", "observe")
+	defer s.D.C.Trace().End(ref)
 	flat := make([]float64, 3*len(f))
 	for i, v := range f {
 		flat[3*i], flat[3*i+1], flat[3*i+2] = v[0], v[1], v[2]
@@ -474,6 +487,8 @@ func (s *PTCNSolver) AllreduceForces(f [][3]float64) {
 // exactly, so the once-per-step energy pays no accuracy for skipping the
 // compressed path. Collective.
 func (s *PTCNSolver) TotalEnergy(local []complex128, t float64) hamiltonian.EnergyBreakdown {
+	ref := s.D.C.Trace().Begin("energy", "observe")
+	defer s.D.C.Trace().End(ref)
 	ng := s.D.G.NG
 	nbl := len(local) / ng
 	rho := s.density(local)
@@ -498,6 +513,8 @@ func (s *PTCNSolver) TotalEnergy(local []complex128, t float64) hamiltonian.Ener
 // partial sums allreduced. Uses the field most recently installed on H.
 // Collective.
 func (s *PTCNSolver) Current(local []complex128) [3]float64 {
+	ref := s.D.C.Trace().Begin("current", "observe")
+	defer s.D.C.Trace().End(ref)
 	nbl := len(local) / s.D.G.NG
 	j := observe.CurrentPartial(s.D.G, s.H.Field(), local, nbl)
 	part := j[:]
@@ -512,6 +529,8 @@ func (s *PTCNSolver) Current(local []complex128) [3]float64 {
 // accumulates |<ref_i|psi_j>|^2 over its local j and the partial sums are
 // allreduced. Collective.
 func (s *PTCNSolver) ExcitedElectrons(ref, local []complex128) float64 {
+	spanRef := s.D.C.Trace().Begin("excited", "observe")
+	defer s.D.C.Trace().End(spanRef)
 	ng := s.D.G.NG
 	nbl := len(local) / ng
 	overlap := make([]complex128, s.D.NB*nbl)

@@ -327,11 +327,16 @@ func (d *Ctx) exchangeSteal(phi, psi []complex128, single bool, chunkReq int, ws
 			m = int(st.pairJ[hi-1])
 		}
 		ensure(m)
+		// One span per claimed chunk (n = chunk ticket), so the timeline
+		// shows which rank won which chunk and how long its fold took -
+		// the signature a steal-pipeline stall is diagnosed from.
+		chunkRef := d.C.Trace().Begin("steal_chunk", "sched")
 		t0 := d.C.WorkStart()
 		for p := lo; p < hi; p++ {
 			ws.stealContract(int(st.pairI[p]), int(st.pairJ[p]), myLo, st)
 		}
 		d.C.WorkEnd(t0)
+		d.C.Trace().EndN(chunkRef, int64(t))
 	}
 	// Every rank participates in every broadcast: drain the pipeline even
 	// if all remaining chunks were stolen by someone else.

@@ -35,6 +35,7 @@ import (
 	"ptdft/internal/grid"
 	"ptdft/internal/lanes"
 	"ptdft/internal/parallel"
+	"ptdft/internal/trace"
 	"ptdft/internal/xc"
 )
 
@@ -69,7 +70,15 @@ type Operator struct {
 	// (a second caller simply builds a transient slab).
 	ws      parallel.ScratchPool[*Workspace]
 	accPool parallel.ScratchPool[*lanes.Slab]
+
+	// tr records apply spans on the owning rank's timeline; nil (the
+	// default) disables recording at the cost of one pointer check.
+	tr *trace.Track
 }
+
+// SetTrace attaches a span track the exchange applications record on
+// (nil disables). The serial drivers set it through the Hamiltonian.
+func (op *Operator) SetTrace(t *trace.Track) { op.tr = t }
 
 // Workspace is the per-worker scratch of one exchange application: two
 // real-space SoA boxes, the pair (Poisson) slab, a sphere-coefficient
@@ -325,6 +334,8 @@ func (op *Operator) Apply(dst, src []complex128, nbands int) {
 		op.ApplyToReference(dst)
 		return
 	}
+	ref := op.tr.Begin("exchange", "fock")
+	defer op.tr.End(ref)
 	nw := parallel.NumWorkers(nbands)
 	wss := op.ws.Acquire(nw)
 	if nw <= 1 {
@@ -367,6 +378,8 @@ func (op *Operator) ApplyToReference(dst []complex128) {
 	if len(dst) != nb*ng {
 		panic("fock: ApplyToReference buffer size mismatch")
 	}
+	ref := op.tr.Begin("exchange", "fock")
+	defer op.tr.End(ref)
 	acc := op.acquireAcc()
 	nw := parallel.NumWorkers(nb)
 	wss := op.ws.Acquire(nw)

@@ -24,6 +24,7 @@ import (
 	"ptdft/internal/parallel"
 	"ptdft/internal/potential"
 	"ptdft/internal/pseudo"
+	"ptdft/internal/trace"
 	"ptdft/internal/xc"
 )
 
@@ -76,6 +77,11 @@ type Hamiltonian struct {
 
 	// Energy bookkeeping from the last UpdatePotential call.
 	PotEnergies potential.Energies
+
+	// tr is forwarded to every exchange operator this Hamiltonian builds
+	// (the propagation operator is rebuilt on each orbital refresh, so the
+	// track must live here). nil disables span recording.
+	tr *trace.Track
 
 	// Per-worker apply scratch, recycled across Apply/TotalEnergy calls.
 	scratch parallel.ScratchPool[*applyScratch]
@@ -210,6 +216,7 @@ func (h *Hamiltonian) SetFockOrbitals(phi []complex128, nb int) {
 	}
 	if h.fockOp == nil {
 		h.fockOp = fock.NewOperator(h.G, h.Hyb, phi, nb)
+		h.fockOp.SetTrace(h.tr)
 	} else {
 		h.fockOp.SetOrbitals(phi, nb)
 	}
@@ -282,6 +289,19 @@ func (h *Hamiltonian) ACEFallbacks() (int, error) { return h.aceFallbacks, h.ace
 // FockOperator exposes the current exchange operator (nil when not hybrid
 // or before the first SetFockOrbitals).
 func (h *Hamiltonian) FockOperator() *fock.Operator { return h.fockOp }
+
+// SetTrace attaches a span track to every exchange operator this
+// Hamiltonian builds (current and future - the propagation operator is
+// reconstructed on each reference refresh). nil disables recording.
+func (h *Hamiltonian) SetTrace(t *trace.Track) {
+	h.tr = t
+	if h.fockOp != nil {
+		h.fockOp.SetTrace(t)
+	}
+	if h.energyOp != nil {
+		h.energyOp.SetTrace(t)
+	}
+}
 
 // SetBloch selects a k-point: kinetic 1/2|G+k+A|^2 and phase-twisted
 // nonlocal projectors. Pass a zero vector and nil to return to Gamma.
@@ -427,6 +447,7 @@ func (h *Hamiltonian) TotalEnergy(psi []complex128, nb int, occ float64) EnergyB
 			// plus the pair-symmetric energy per evaluation.
 			if h.energyOp == nil {
 				h.energyOp = fock.NewOperator(h.G, h.Hyb, psi, nb)
+				h.energyOp.SetTrace(h.tr)
 			} else {
 				h.energyOp.SetOrbitals(psi, nb)
 			}

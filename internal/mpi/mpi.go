@@ -19,11 +19,14 @@
 package mpi
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ptdft/internal/trace"
 )
 
 // Elem constrains the payload element types the runtime ships.
@@ -104,6 +107,44 @@ func (s *Stats) SentBy(rank int, c OpClass) int64 { return s.sent[rank][c] }
 
 // RecvBy returns the bytes rank `rank` received under one class.
 func (s *Stats) RecvBy(rank int, c OpClass) int64 { return s.recv[rank][c] }
+
+// CommMatrix is the JSON heat-map form of the per-rank ledgers: one row
+// per rank, one column per collective class, on both the send and the
+// receive side. Rendered as a heat map it shows which ranks carry the
+// communication load (rank 0 dominates the receive side of the rank-
+// ordered Allreduce, broadcast roots dominate the send side, ...).
+type CommMatrix struct {
+	Ranks      int       `json:"ranks"`
+	Classes    []string  `json:"classes"`
+	SentBytes  [][]int64 `json:"sent_bytes"` // [rank][class]
+	RecvBytes  [][]int64 `json:"recv_bytes"` // [rank][class]
+	TotalBytes int64     `json:"total_bytes"`
+}
+
+// Matrix exports the per-rank send/recv ledgers as a heat-map matrix.
+func (s *Stats) Matrix() CommMatrix {
+	m := CommMatrix{
+		Ranks:      len(s.sent),
+		Classes:    make([]string, int(numClasses)),
+		SentBytes:  make([][]int64, len(s.sent)),
+		RecvBytes:  make([][]int64, len(s.recv)),
+		TotalBytes: s.TotalBytes(),
+	}
+	for c := 0; c < int(numClasses); c++ {
+		m.Classes[c] = OpClass(c).String()
+	}
+	for r := range s.sent {
+		m.SentBytes[r] = append([]int64(nil), s.sent[r][:]...)
+		m.RecvBytes[r] = append([]int64(nil), s.recv[r][:]...)
+	}
+	return m
+}
+
+// MatrixJSON renders the heat-map matrix as indented JSON, the form the
+// -commfile flag dumps and EXPERIMENTS.md records.
+func (s *Stats) MatrixJSON() ([]byte, error) {
+	return json.MarshalIndent(s.Matrix(), "", " ")
+}
 
 // pairBox is the mailbox for one (src, dst) rank pair: a tag-indexed FIFO
 // store guarded by a condition variable, safe for concurrent senders and
@@ -216,7 +257,8 @@ type world struct {
 type Comm struct {
 	rank  int
 	w     *world
-	scale float64 // compute slowdown factor from the perturbation model
+	scale float64      // compute slowdown factor from the perturbation model
+	tr    *trace.Track // span timeline of this rank; nil = tracing disabled
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -225,9 +267,22 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.w.size }
 
+// SetTrace attaches a span track to this handle: every metered operation
+// then records wait spans (blocked in Recv or Barrier) and transfer
+// spans (payload shipped, with byte counts matching the Stats ledgers)
+// under the operation's class name. A nil track disables recording.
+func (c *Comm) SetTrace(t *trace.Track) { c.tr = t }
+
+// Trace returns the handle's span track (nil when tracing is disabled),
+// so layers built on the Comm can record their own spans on the same
+// per-rank timeline without extra plumbing.
+func (c *Comm) Trace() *trace.Track { return c.tr }
+
 // CloneHandle returns an equivalent handle; retained for API compatibility
 // with thread-multiple MPI usage (handles share all state).
-func (c *Comm) CloneHandle() *Comm { return &Comm{rank: c.rank, w: c.w, scale: c.scale} }
+func (c *Comm) CloneHandle() *Comm {
+	return &Comm{rank: c.rank, w: c.w, scale: c.scale, tr: c.tr}
+}
 
 // Perturb is an injectable per-rank latency and slowdown model: simulated
 // stragglers and NIC delay, so load-balance and overlap wins are measurable
@@ -309,7 +364,9 @@ func (c *Comm) FetchAdd(key, delta int64) int64 {
 		v, _ = c.w.counters.LoadOrStore(key, new(atomic.Int64))
 	}
 	c.accountTransfer(c.rank, ClassRMA, 8)
-	return v.(*atomic.Int64).Add(delta) - delta
+	prev := v.(*atomic.Int64).Add(delta) - delta
+	c.tr.Event(ClassRMA.String(), "xfer", 8, prev)
+	return prev
 }
 
 // ForgetCounter releases the RMA counter `key`. Only safe once no rank can
@@ -363,11 +420,13 @@ func (c *Comm) accountTransfer(to int, class OpClass, bytes int64) {
 // eventually trips its deadline.
 func deliver[T Elem](c *Comm, to, tag int, data []T, class OpClass) {
 	bytes := int64(len(data)) * elemSize[T]()
+	ref := c.tr.Begin(class.String(), "xfer")
 	if c.w.dropMessage() {
 		c.maybeCrashOnCall()
 		c.w.bytes[class].Add(bytes)
 		c.w.calls[class].Add(1)
 		c.w.sent[c.rank][class].Add(bytes)
+		c.tr.EndBytes(ref, bytes)
 		return
 	}
 	out := make([]T, len(data))
@@ -379,6 +438,7 @@ func deliver[T Elem](c *Comm, to, tag int, data []T, class OpClass) {
 		}
 	}
 	c.w.boxes[c.rank][to].put(tag, out)
+	c.tr.EndBytes(ref, bytes)
 }
 
 // Send ships a copy of data to rank `to` with a matching tag.
@@ -393,8 +453,19 @@ func Send[T Elem](c *Comm, to, tag int, data []T) {
 // a matching message arrives. Under a configured deadline a silent peer
 // trips a PeerLostError panic instead of hanging forever.
 func Recv[T Elem](c *Comm, from, tag int) []T {
+	return recvClass[T](c, from, tag, ClassP2P)
+}
+
+// recvClass is Recv with the wait span attributed to the collective class
+// driving it, so a trace splits "blocked waiting for a broadcast" from
+// "blocked waiting for a point-to-point message". The wait span brackets
+// the blocking take: the time to this rank is stall, the payload's ship
+// time is on the sender's transfer span.
+func recvClass[T Elem](c *Comm, from, tag int, class OpClass) []T {
+	ref := c.tr.Begin(class.String()+" wait", "wait")
 	d := c.w.deadline
 	data, ok := c.w.boxes[from][c.rank].take(tag, d)
+	c.tr.End(ref)
 	if !ok {
 		c.lostPeer(from, fmt.Sprintf("Recv tag %d", tag), d)
 	}
@@ -405,6 +476,8 @@ func Recv[T Elem](c *Comm, from, tag int) []T {
 // configured deadline a barrier that never completes (a peer died before
 // entering) trips a PeerLostError panic on every waiting rank.
 func (c *Comm) Barrier() {
+	ref := c.tr.Begin("MPI_Barrier wait", "wait")
+	defer c.tr.End(ref)
 	w := c.w
 	w.barrierMu.Lock()
 	gen := w.barrierGen
@@ -464,7 +537,7 @@ func bcastTree[T Elem](c *Comm, root, tag int, data []T, class OpClass) {
 	for mask < size {
 		if rel&mask != 0 {
 			src := (c.rank - mask + size) % size
-			in := Recv[T](c, src, tag)
+			in := recvClass[T](c, src, tag, class)
 			copy(data, in)
 			break
 		}
@@ -489,7 +562,7 @@ func AllreduceSum[T Elem](c *Comm, tag int, data []T) {
 	}
 	if c.rank == 0 {
 		for r := 1; r < size; r++ {
-			in := Recv[T](c, r, tag)
+			in := recvClass[T](c, r, tag, ClassAllreduce)
 			for i := range data {
 				data[i] += in[i]
 			}
@@ -517,7 +590,7 @@ func Alltoallv[T Elem](c *Comm, tag int, send [][]T) [][]T {
 	}
 	for off := 1; off < size; off++ {
 		src := (c.rank - off + size) % size
-		recv[src] = Recv[T](c, src, tag)
+		recv[src] = recvClass[T](c, src, tag, ClassAlltoallv)
 	}
 	return recv
 }
@@ -537,7 +610,7 @@ func Allgatherv[T Elem](c *Comm, tag int, data []T) [][]T {
 	}
 	for off := 1; off < size; off++ {
 		src := (c.rank - off + size) % size
-		out[src] = Recv[T](c, src, tag)
+		out[src] = recvClass[T](c, src, tag, ClassAllgatherv)
 	}
 	return out
 }
@@ -633,9 +706,11 @@ func (c *Comm) Split(tag int, color int64, key int) *Comm {
 	c.Barrier()
 
 	// The compute-slowdown factor follows the rank into the sub-
-	// communicator (a straggler node is slow in every group it joins);
-	// wire delays are keyed by parent-world rank pairs and do not.
-	return &Comm{rank: myRank, w: child, scale: c.scale}
+	// communicator (a straggler node is slow in every group it joins), as
+	// does the span track (sub-communicator traffic appears on the parent
+	// rank's timeline); wire delays are keyed by parent-world rank pairs
+	// and do not.
+	return &Comm{rank: myRank, w: child, scale: c.scale, tr: c.tr}
 }
 
 // SubStats snapshots the communication statistics of a sub-communicator

@@ -6,6 +6,8 @@
 //	GET    /jobs/{id}/stream   live observables (Server-Sent Events)
 //	POST   /jobs/{id}/preempt  checkpoint + requeue (automatic resume)
 //	DELETE /jobs/{id}          cancel
+//	GET    /jobs/{id}/profile  per-job phase breakdown (see metrics.go)
+//	GET    /metrics            Prometheus text exposition (see metrics.go)
 //
 // Errors are typed JSON: {"error": {"code": "...", "message": "..."}}.
 package server
@@ -49,8 +51,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("POST /jobs/{id}/preempt", s.handlePreempt)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 

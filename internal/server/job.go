@@ -54,6 +54,13 @@ type Metrics struct {
 	// checkpoint-resumed attempts (including restart adoptions).
 	Preemptions int `json:"preemptions"`
 	Resumes     int `json:"resumes"`
+	// Flight-recorder aggregates, accumulated across attempts: cumulative
+	// busy seconds summed over rank timelines, total bytes through the
+	// job's communicator (0 for serial jobs), and the per-phase wall
+	// breakdown (span name -> seconds) behind /jobs/{id}/profile.
+	RankSeconds  float64            `json:"rank_seconds"`
+	BytesMoved   int64              `json:"bytes_moved"`
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // Job is one submitted simulation. The server's mutex guards every field
@@ -114,6 +121,15 @@ func (j *Job) view(withSamples bool) View {
 		ID: j.ID, State: j.State, Spec: j.Spec, Error: j.Err,
 		SubmittedAt: j.SubmittedAt, StartedAt: j.StartedAt, FinishedAt: j.FinishedAt,
 		Metrics: j.Metrics,
+	}
+	// The phase map keeps accumulating across attempts; the snapshot must
+	// not alias it (it is JSON-encoded after the server's mutex is
+	// released).
+	if j.Metrics.PhaseSeconds != nil {
+		v.Metrics.PhaseSeconds = make(map[string]float64, len(j.Metrics.PhaseSeconds))
+		for name, sec := range j.Metrics.PhaseSeconds {
+			v.Metrics.PhaseSeconds[name] = sec
+		}
 	}
 	if withSamples {
 		v.Samples = j.Feed.Snapshot()

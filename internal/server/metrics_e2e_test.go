@@ -1,0 +1,198 @@
+// End-to-end tests for the observability surfaces: run real jobs
+// through the HTTP API, then check that /metrics and /jobs/{id}/profile
+// report the queue, cache, and per-job resource accounting consistently
+// with what the jobs actually did.
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and parses the Prometheus text exposition into
+// a flat name{labels} -> value map (comment lines dropped).
+func scrape(t testing.TB, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q is not Prometheus text exposition 0.0.4", ct)
+	}
+	out := make(map[string]float64)
+	for _, line := range readLines(t, resp) {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("metric line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func readLines(t testing.TB, resp *http.Response) []string {
+	t.Helper()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(string(body), "\n")
+}
+
+// getProfile fetches and decodes /jobs/{id}/profile.
+func getProfile(t testing.TB, ts *httptest.Server, id string) profileView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/profile: status %d", id, resp.StatusCode)
+	}
+	var p profileView
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestE2EMetricsAndProfile: two identical 2-rank jobs (the second a
+// known SCF-cache hit) must show up in /metrics - job states, cache
+// counters, cumulative rank-seconds and comm bytes - and each job's
+// /profile must carry a phase breakdown consistent with its metrics.
+func TestE2EMetricsAndProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full distributed trajectories: skipped in -short mode")
+	}
+	_, ts := startE2E(t, Config{Workers: 1})
+
+	// Before any job: counters exist at zero, no series missing.
+	m0 := scrape(t, ts)
+	for _, name := range []string{
+		`ptdftd_jobs{state="queued"}`, `ptdftd_jobs{state="done"}`,
+		"ptdftd_queue_depth", "ptdftd_workers_total", "ptdftd_workers_busy",
+		"ptdftd_scf_cache_hits_total", "ptdftd_scf_cache_misses_total",
+		"ptdftd_rank_seconds_total", "ptdftd_comm_bytes_total",
+	} {
+		v, ok := m0[name]
+		if !ok {
+			t.Errorf("metric %s missing from idle scrape", name)
+		} else if v != 0 && name != "ptdftd_workers_total" {
+			t.Errorf("idle %s = %v, want 0", name, v)
+		}
+	}
+	if m0["ptdftd_workers_total"] != 1 {
+		t.Errorf("ptdftd_workers_total = %v, want 1", m0["ptdftd_workers_total"])
+	}
+
+	// Distributed spec so comm bytes are nonzero in the ledgers.
+	spec := e2eSpec(4)
+	spec.Ranks = 2
+	spec.Exchange = "overlap"
+	a := submit(t, ts, spec)
+	waitHTTP(t, ts, a.ID, StateDone)
+	b := submit(t, ts, spec)
+	warm := waitHTTP(t, ts, b.ID, StateDone)
+	if !warm.Metrics.SCFCacheHit {
+		t.Fatal("identical resubmission did not hit the SCF cache")
+	}
+
+	m := scrape(t, ts)
+	if got := m[`ptdftd_jobs{state="done"}`]; got != 2 {
+		t.Errorf(`jobs{state="done"} = %v, want 2`, got)
+	}
+	if got := m["ptdftd_queue_depth"]; got != 0 {
+		t.Errorf("queue_depth = %v, want 0 after drain", got)
+	}
+	if got := m["ptdftd_scf_cache_misses_total"]; got != 1 {
+		t.Errorf("scf_cache_misses_total = %v, want 1", got)
+	}
+	if got := m["ptdftd_scf_cache_hits_total"]; got != 1 {
+		t.Errorf("scf_cache_hits_total = %v, want 1", got)
+	}
+	if got := m["ptdftd_scf_cache_hit_ratio"]; got != 0.5 {
+		t.Errorf("scf_cache_hit_ratio = %v, want 0.5", got)
+	}
+	if m["ptdftd_rank_seconds_total"] <= 0 {
+		t.Errorf("rank_seconds_total = %v, want > 0", m["ptdftd_rank_seconds_total"])
+	}
+	if m["ptdftd_comm_bytes_total"] <= 0 {
+		t.Errorf("comm_bytes_total = %v, want > 0", m["ptdftd_comm_bytes_total"])
+	}
+
+	// Per-job profiles: the server totals are the sum of the job rows.
+	pa, pb := getProfile(t, ts, a.ID), getProfile(t, ts, b.ID)
+	if pa.Metrics.SCFCacheHit || !pb.Metrics.SCFCacheHit {
+		t.Errorf("cache-hit flags: job a %v (want false), job b %v (want true)",
+			pa.Metrics.SCFCacheHit, pb.Metrics.SCFCacheHit)
+	}
+	for _, p := range []profileView{pa, pb} {
+		if p.State != StateDone {
+			t.Errorf("job %s profile state = %s, want done", p.ID, p.State)
+		}
+		if p.Metrics.RankSeconds <= 0 {
+			t.Errorf("job %s rank_seconds = %v, want > 0", p.ID, p.Metrics.RankSeconds)
+		}
+		if p.Metrics.BytesMoved <= 0 {
+			t.Errorf("job %s bytes_moved = %d, want > 0 on a 2-rank run", p.ID, p.Metrics.BytesMoved)
+		}
+		if len(p.Phases) == 0 {
+			t.Errorf("job %s has no phase breakdown", p.ID)
+			continue
+		}
+		if p.Metrics.PhaseSeconds["step"] <= 0 {
+			t.Errorf("job %s: step phase missing from %v", p.ID, p.Metrics.PhaseSeconds)
+		}
+		for i, ph := range p.Phases {
+			if ph.Seconds <= 0 || ph.Share <= 0 || ph.Share > 1 {
+				t.Errorf("job %s phase %q: seconds %v share %v out of range", p.ID, ph.Name, ph.Seconds, ph.Share)
+			}
+			if i > 0 && ph.Seconds > p.Phases[i-1].Seconds {
+				t.Errorf("job %s phases not sorted by seconds: %q after %q", p.ID, ph.Name, p.Phases[i-1].Name)
+			}
+		}
+	}
+	wantSec := pa.Metrics.RankSeconds + pb.Metrics.RankSeconds
+	if got := m["ptdftd_rank_seconds_total"]; !approxEq(got, wantSec, 1e-9) {
+		t.Errorf("rank_seconds_total = %v, want sum of jobs %v", got, wantSec)
+	}
+	wantBytes := float64(pa.Metrics.BytesMoved + pb.Metrics.BytesMoved)
+	if got := m["ptdftd_comm_bytes_total"]; got != wantBytes {
+		t.Errorf("comm_bytes_total = %v, want sum of jobs %v", got, wantBytes)
+	}
+
+	// Unknown job id: typed 404 envelope, like the other job routes.
+	resp, err := http.Get(ts.URL + "/jobs/j999999/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := apiError(t, resp); resp.StatusCode != http.StatusNotFound || code != "not_found" {
+		t.Errorf("missing job profile: status %d code %s, want 404 not_found", resp.StatusCode, code)
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -55,6 +55,14 @@ func (s *Server) persist(j *Job) {
 		Metrics: j.Metrics,
 		Samples: j.Feed.Snapshot(),
 	}
+	// Detach the phase map: it keeps accumulating under s.mu while the
+	// marshal below runs outside it.
+	if j.Metrics.PhaseSeconds != nil {
+		rec.Metrics.PhaseSeconds = make(map[string]float64, len(j.Metrics.PhaseSeconds))
+		for name, sec := range j.Metrics.PhaseSeconds {
+			rec.Metrics.PhaseSeconds[name] = sec
+		}
+	}
 	s.mu.Unlock()
 	data, err := json.MarshalIndent(&rec, "", " ")
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"ptdft/internal/observe"
 	"ptdft/internal/scf"
 	"ptdft/internal/sim"
+	"ptdft/internal/trace"
 )
 
 // Config describes one server instance.
@@ -66,6 +67,14 @@ type Server struct {
 	draining bool
 	nextID   int
 	wg       sync.WaitGroup
+
+	// Cumulative observability counters behind GET /metrics (guarded by
+	// mu): SCF cache outcomes as this server's jobs saw them, and the
+	// rank-seconds / comm bytes folded from every attempt's flight
+	// recorder.
+	scfHits, scfMisses int64
+	rankSecTotal       float64
+	bytesTotal         int64
 }
 
 // New builds a server, re-adopts any resumable jobs from cfg.Dir, and
@@ -396,15 +405,24 @@ func (s *Server) attempt(j *Job) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	if hit {
+		s.scfHits++
+	} else {
+		s.scfMisses++
+	}
 	if firstAttempt {
-		s.mu.Lock()
 		j.Metrics.SCFCacheHit = hit
 		j.Metrics.SCFWallSec = time.Since(start).Seconds()
-		s.mu.Unlock()
 	}
+	s.mu.Unlock()
 
+	// Each attempt records onto a fresh flight recorder; the folded
+	// aggregates accumulate across attempts on the job and the server.
+	rec := trace.NewRecorder()
 	segDone := 0
-	return s.run(&seg, sim.Options{
+	res, err := s.run(&seg, sim.Options{
+		Trace:  rec,
 		Stop:   stop,
 		Ground: gs,
 		Resume: resume,
@@ -428,4 +446,21 @@ func (s *Server) attempt(j *Job) (*sim.Result, error) {
 		Ckpt:      roll,
 		CkptEvery: s.cfg.CkptEvery,
 	})
+	if res != nil {
+		s.mu.Lock()
+		j.Metrics.RankSeconds += res.RankSeconds
+		j.Metrics.BytesMoved += res.BytesMoved
+		if len(res.PhaseSeconds) > 0 {
+			if j.Metrics.PhaseSeconds == nil {
+				j.Metrics.PhaseSeconds = make(map[string]float64, len(res.PhaseSeconds))
+			}
+			for name, sec := range res.PhaseSeconds {
+				j.Metrics.PhaseSeconds[name] += sec
+			}
+		}
+		s.rankSecTotal += res.RankSeconds
+		s.bytesTotal += res.BytesMoved
+		s.mu.Unlock()
+	}
+	return res, err
 }

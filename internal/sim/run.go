@@ -21,6 +21,7 @@ import (
 	"ptdft/internal/mpi"
 	"ptdft/internal/observe"
 	"ptdft/internal/scf"
+	"ptdft/internal/trace"
 	"ptdft/internal/units"
 	"ptdft/internal/wavefunc"
 	"ptdft/internal/xc"
@@ -57,6 +58,12 @@ type Options struct {
 	Ckpt      *checkpoint.Rolling
 	CkptEvery int
 	SavePath  string
+	// Trace, when set, records per-rank span timelines for the whole
+	// segment: the drivers attach one track per rank (track 0 serially)
+	// and the solver/comm layers fill it. Result carries the folded
+	// aggregates; export the recorder for the full timeline. nil (the
+	// default) keeps every recording site on its zero-alloc disabled path.
+	Trace *trace.Recorder
 	// PulseSteps overrides the electronic step count the 380nm pulse
 	// envelope is shaped from (sigma = dt*PulseSteps/4, peak at 2*sigma).
 	// When the spec covers only a segment of a longer trajectory (a
@@ -101,6 +108,15 @@ type Result struct {
 
 	EhrenfestDrift float64           // max |E_tot - E_0| over the segment (MD only)
 	Final          *checkpoint.State // the assembled restartable state
+
+	// Observability aggregates (zero/nil unless Options.Trace was set, and
+	// Comm only on distributed runs): cumulative busy seconds summed over
+	// rank timelines, total bytes moved through the communicator, the
+	// per-phase wall breakdown, and the raw comm ledgers for heat maps.
+	RankSeconds  float64
+	BytesMoved   int64
+	PhaseSeconds map[string]float64
+	Comm         *mpi.Stats
 }
 
 // runner bundles the derived state the drivers share.
@@ -117,6 +133,8 @@ type runner struct {
 	loaded *checkpoint.State
 	psiGS  []complex128 // ground-state reference for excited-electron counts
 	psi0   []complex128 // starting orbitals of this segment
+
+	commStats *mpi.Stats // comm ledgers of the distributed drivers' world
 }
 
 // Run executes the spec to completion (or until Stop fires), returning
@@ -209,6 +227,14 @@ func Run(spec *Spec, opt Options) (*Result, error) {
 	res.Psi = psiFinal
 	res.Time = tFinal
 	res.Stopped = opt.stopRequested()
+	res.Comm = r.commStats
+	if opt.Trace != nil {
+		res.RankSeconds = opt.Trace.RankSeconds()
+		res.PhaseSeconds = opt.Trace.PhaseSeconds()
+	}
+	if r.commStats != nil {
+		res.BytesMoved = r.commStats.TotalBytes()
+	}
 	if spec.MD && len(samples) > 0 {
 		for _, s := range samples {
 			if d := math.Abs(s.Energy - ions.e0); d > res.EhrenfestDrift {
@@ -312,7 +338,9 @@ func (r *runner) runSerial() ([]observe.Sample, []complex128, float64, mtsSnapsh
 	h := hamiltonian.New(r.g, spec.Pots(), hamiltonian.Config{
 		Hybrid: spec.Hybrid, UseACE: spec.ACE, Params: xc.HSE06(),
 	})
-	sys := &core.System{G: r.g, H: h, NB: r.nb, Occ: 2, Field: r.field}
+	tr := opt.Trace.Track(0, "rank 0")
+	h.SetTrace(tr)
+	sys := &core.System{G: r.g, H: h, NB: r.nb, Occ: 2, Field: r.field, Tr: tr}
 	psi := wavefunc.Clone(r.psi0)
 	var samples []observe.Sample
 	var snap mtsSnapshot
@@ -345,14 +373,17 @@ func (r *runner) runSerial() ([]observe.Sample, []complex128, float64, mtsSnapsh
 			return nil, nil, 0, snap, fmt.Errorf("step %d: %w", i, err)
 		}
 		wall := time.Since(start).Seconds()
+		obsRef := tr.Begin("observe", "observe")
 		eb := observe.Energy(sys, psi, now())
 		j := observe.Current(sys, psi)
+		nexc := observe.ExcitedElectrons(sys, r.psiGS, psi)
+		tr.End(obsRef)
 		samples = r.emit(samples, observe.Sample{
 			Step:     base + i + 1,
 			TimeFs:   now() * units.FemtosecondPerAU,
 			Energy:   eb.Total(),
 			CurrentZ: j[2],
-			Excited:  observe.ExcitedElectrons(sys, r.psiGS, psi),
+			Excited:  nexc,
 			SCFIters: stats.SCFIterations,
 			WallSec:  wall,
 		})
@@ -368,8 +399,11 @@ func (r *runner) runSerial() ([]observe.Sample, []complex128, float64, mtsSnapsh
 					ref = wavefunc.Clone(pt.MTSRef())
 				}
 			}
+			ckRef := tr.Begin("checkpoint", "io")
 			st := r.segmentState(now(), wavefunc.Clone(psi), done, phase, ref)
-			if err := opt.Ckpt.Save(st); err != nil {
+			err := opt.Ckpt.Save(st)
+			tr.End(ckRef)
+			if err != nil {
 				return nil, nil, 0, snap, fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
 			}
 		}
@@ -431,6 +465,10 @@ func (r *runner) runDistributed() ([]observe.Sample, []complex128, float64, mtsS
 	var firstErr, saveErr error
 	doneSteps := 0
 	stats := mpi.Run(spec.Ranks, func(c *mpi.Comm) {
+		// One flight-recorder track per rank: the solver and the comm layer
+		// record onto it through the Comm handle (nil recorder -> nil track
+		// -> every site stays on its disabled path).
+		c.SetTrace(opt.Trace.Track(c.Rank(), fmt.Sprintf("rank %d", c.Rank())))
 		d, err := dist.NewCtx(c, r.g, r.nb, 2)
 		if err != nil {
 			if c.Rank() == 0 {
@@ -502,6 +540,7 @@ func (r *runner) runDistributed() ([]observe.Sample, []complex128, float64, mtsS
 			// failed save must not abort mid-collective (the other ranks
 			// would hang); it is recorded and reported after the run.
 			if opt.Ckpt != nil && opt.CkptEvery > 0 && done%opt.CkptEvery == 0 && done < spec.Steps {
+				ckRef := c.Trace().Begin("checkpoint", "io")
 				phase := 0
 				if spec.MTS > 0 {
 					phase = s.MTSPhase()
@@ -520,6 +559,7 @@ func (r *runner) runDistributed() ([]observe.Sample, []complex128, float64, mtsS
 						saveErr = fmt.Errorf("periodic checkpoint after step %d: %w", done, err)
 					}
 				}
+				c.Trace().End(ckRef)
 			}
 			// Shutdown vote: only rank 0 sees the stop flag; the sum makes
 			// the break rank-symmetric so no collective is left half-entered.
@@ -553,6 +593,7 @@ func (r *runner) runDistributed() ([]observe.Sample, []complex128, float64, mtsS
 			}
 		}
 	})
+	r.commStats = stats
 	if firstErr != nil {
 		return nil, nil, 0, snap, firstErr
 	}

@@ -49,7 +49,9 @@ func (r *runner) runSerialMD(cell *lattice.Cell) ([]observe.Sample, []complex128
 	h := hamiltonian.New(r.g, spec.Pots(), hamiltonian.Config{
 		Hybrid: spec.Hybrid, UseACE: spec.ACE, Params: xc.HSE06(), IonDynamics: true,
 	})
-	sys := &core.System{G: r.g, H: h, NB: r.nb, Occ: 2, Field: r.field}
+	tr := opt.Trace.Track(0, "rank 0")
+	h.SetTrace(tr)
+	sys := &core.System{G: r.g, H: h, NB: r.nb, Occ: 2, Field: r.field, Tr: tr}
 	pt := core.NewPTCN(sys, core.DefaultPTCN())
 	pt.Time = r.t0
 	pt.MTS = spec.MTS
@@ -81,21 +83,28 @@ func (r *runner) runSerialMD(cell *lattice.Cell) ([]observe.Sample, []complex128
 	for i := 0; i < spec.IonSteps; i++ {
 		start := time.Now()
 		se.SCF = 0
-		if err := v.Step(); err != nil {
+		ionRef := tr.Begin("ion_step", "step")
+		err := v.Step()
+		tr.EndN(ionRef, int64(i))
+		if err != nil {
 			return nil, nil, 0, snap, ionsnap, fmt.Errorf("ion step %d: %w", i, err)
 		}
 		wall := time.Since(start).Seconds()
+		obsRef := tr.Begin("observe", "observe")
 		etot, err := v.TotalEnergy()
 		if err != nil {
+			tr.End(obsRef)
 			return nil, nil, 0, snap, ionsnap, err
 		}
 		j := observe.Current(sys, se.Psi)
+		nexc := observe.ExcitedElectrons(sys, r.psiGS, se.Psi)
+		tr.End(obsRef)
 		samples = r.emit(samples, observe.Sample{
 			Step:     base + i + 1,
 			TimeFs:   pt.Time * units.FemtosecondPerAU,
 			Energy:   etot,
 			CurrentZ: j[2],
-			Excited:  observe.ExcitedElectrons(sys, r.psiGS, se.Psi),
+			Excited:  nexc,
 			SCFIters: se.SCF,
 			WallSec:  wall,
 		})
@@ -111,11 +120,14 @@ func (r *runner) runSerialMD(cell *lattice.Cell) ([]observe.Sample, []complex128
 					ref = wavefunc.Clone(pt.MTSRef())
 				}
 			}
+			ckRef := tr.Begin("checkpoint", "io")
 			st := r.segmentState(pt.Time, wavefunc.Clone(se.Psi), done*spec.IonSubsteps(), phase, ref)
 			st.IonSteps = checkpoint.ContinuationIonSteps(r.loaded, done)
 			is := snapshotIons(v)
 			st.IonPos, st.IonVel, st.IonForce = is.pos, is.vel, is.force
-			if err := opt.Ckpt.Save(st); err != nil {
+			err := opt.Ckpt.Save(st)
+			tr.End(ckRef)
+			if err != nil {
 				return nil, nil, 0, snap, ionsnap, fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
 			}
 		}
@@ -161,6 +173,7 @@ func (r *runner) runDistributedMD(cell *lattice.Cell) ([]observe.Sample, []compl
 	var firstErr, saveErr error
 	doneSteps := 0
 	stats := mpi.Run(spec.Ranks, func(c *mpi.Comm) {
+		c.SetTrace(opt.Trace.Track(c.Rank(), fmt.Sprintf("rank %d", c.Rank())))
 		fail := func(err error) {
 			if c.Rank() == 0 {
 				firstErr = err
@@ -216,7 +229,10 @@ func (r *runner) runDistributedMD(cell *lattice.Cell) ([]observe.Sample, []compl
 		for i := 0; i < spec.IonSteps; i++ {
 			start := time.Now()
 			de.SCF = 0
-			if err := v.Step(); err != nil {
+			ionRef := c.Trace().Begin("ion_step", "step")
+			err := v.Step()
+			c.Trace().EndN(ionRef, int64(i))
+			if err != nil {
 				// PT-CN convergence failure is decided on the global
 				// density, so every rank exits here together.
 				fail(fmt.Errorf("ion step %d: %w", i, err))
@@ -252,6 +268,7 @@ func (r *runner) runDistributedMD(cell *lattice.Cell) ([]observe.Sample, []compl
 			// Periodic durable checkpoint (same collective discipline and
 			// failure handling as the electron-only distributed driver).
 			if opt.Ckpt != nil && opt.CkptEvery > 0 && done%opt.CkptEvery == 0 && done < spec.IonSteps {
+				ckRef := c.Trace().Begin("checkpoint", "io")
 				phase := 0
 				if spec.MTS > 0 {
 					phase = s.MTSPhase()
@@ -273,6 +290,7 @@ func (r *runner) runDistributedMD(cell *lattice.Cell) ([]observe.Sample, []compl
 						saveErr = fmt.Errorf("periodic checkpoint after ion step %d: %w", done, err)
 					}
 				}
+				c.Trace().End(ckRef)
 			}
 			stopFlag := []float64{0}
 			if c.Rank() == 0 && opt.stopRequested() {
@@ -303,6 +321,7 @@ func (r *runner) runDistributedMD(cell *lattice.Cell) ([]observe.Sample, []compl
 			}
 		}
 	})
+	r.commStats = stats
 	if firstErr != nil {
 		return nil, nil, 0, snap, ionsnap, firstErr
 	}

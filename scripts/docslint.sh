@@ -40,7 +40,17 @@ for d in cmd/*/; do
 		fail=1
 	fi
 done
+# Every checked-in script must say how to run it: a self-referential
+# "sh scripts/<name>" usage line in its header comment, so the scripts
+# stay discoverable from the files themselves.
+for f in scripts/*.sh; do
+	name=$(basename "$f")
+	if ! grep -q "sh scripts/$name" "$f"; then
+		echo "docs-lint: script $f has no 'sh scripts/$name' usage line" >&2
+		fail=1
+	fi
+done
 if [ "$fail" -eq 0 ]; then
-	echo "docs-lint: all internal packages and commands documented"
+	echo "docs-lint: all internal packages, commands and scripts documented"
 fi
 exit $fail

@@ -1,0 +1,129 @@
+//go:build ignore
+
+// tracecheck validates a Chrome trace-event JSON file emitted by the
+// flight recorder (-tracefile on the ptdft/spectra/summitsim binaries,
+// or trace.Recorder.WriteChromeTrace): the document must parse, every
+// event must be well-formed (ph "M" metadata or ph "X" complete spans
+// with non-negative timestamps), every span's tid must carry a
+// thread_name record, and on every rank timeline the union of the spans
+// must cover at least 95% of the first-to-last extent - the acceptance
+// bar that catches an uninstrumented hot phase. Invoked by
+// scripts/tracecheck.sh; run directly with
+//
+//	go run scripts/tracecheck.go <trace.json>
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type span struct{ start, end float64 }
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/tracecheck.go <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	names := map[int]string{}
+	spans := map[int][]span{}
+	nspan := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				return fmt.Errorf("event %d: unexpected metadata %q", i, ev.Name)
+			}
+			label, _ := ev.Args["name"].(string)
+			if label == "" {
+				return fmt.Errorf("event %d: thread_name for tid %d has no name", i, ev.Tid)
+			}
+			names[ev.Tid] = label
+		case "X":
+			if ev.Name == "" || ev.Ts < 0 || ev.Dur < 0 {
+				return fmt.Errorf("event %d: malformed span %+v", i, ev)
+			}
+			spans[ev.Tid] = append(spans[ev.Tid], span{ev.Ts, ev.Ts + ev.Dur})
+			nspan++
+		default:
+			return fmt.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if nspan == 0 {
+		return fmt.Errorf("no complete (ph=X) span events")
+	}
+	tids := make([]int, 0, len(spans))
+	for tid := range spans {
+		if _, ok := names[tid]; !ok {
+			return fmt.Errorf("tid %d has spans but no thread_name record", tid)
+		}
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		cov := coverage(spans[tid])
+		fmt.Printf("tracecheck: %s (tid %d): %d spans, %.1f%% of extent covered\n",
+			names[tid], tid, len(spans[tid]), 100*cov)
+		if cov < 0.95 {
+			return fmt.Errorf("%s (tid %d): span union covers %.1f%% of the timeline extent, want >= 95%%",
+				names[tid], tid, 100*cov)
+		}
+	}
+	fmt.Printf("tracecheck: OK (%d spans across %d timelines)\n", nspan, len(tids))
+	return nil
+}
+
+// coverage is union-of-intervals over first-to-last extent, the same
+// quantity trace.Recorder.Coverage reports before export.
+func coverage(ss []span) float64 {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
+	lo, hi := ss[0].start, ss[0].end
+	var union, curLo, curHi float64
+	curLo, curHi = ss[0].start, ss[0].end
+	for _, s := range ss[1:] {
+		if s.end > hi {
+			hi = s.end
+		}
+		if s.start > curHi {
+			union += curHi - curLo
+			curLo, curHi = s.start, s.end
+			continue
+		}
+		if s.end > curHi {
+			curHi = s.end
+		}
+	}
+	union += curHi - curLo
+	if hi <= lo {
+		return 0
+	}
+	return union / (hi - lo)
+}
